@@ -1,0 +1,62 @@
+// Figure 6: average path length of server pairs in the same pod.
+//
+// Flat-tree operates as approximated local random graphs (half the servers
+// on edge switches, half on aggregation). Baselines: fat-tree, the global
+// random graph (whose "pod" servers scatter network-wide), and the
+// two-stage random graph. Paper shape: flat-tree lowest (it even beats
+// two-stage RG thanks to the regular edge-aggregation mesh), then
+// fat-tree, then two-stage, with the global random graph worst.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "topo/apl.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/random_graph.hpp"
+#include "topo/two_stage.hpp"
+
+using namespace flattree;
+
+namespace {
+
+/// Server id groups corresponding to the fat-tree pods (the same logical
+/// services, wherever each topology physically placed them).
+std::vector<std::vector<topo::ServerId>> pod_groups(std::uint32_t k) {
+  const std::uint32_t per_pod = k * k / 4;
+  std::vector<std::vector<topo::ServerId>> groups(k);
+  for (topo::ServerId s = 0; s < k * k * k / 4; ++s) groups[s / per_pod].push_back(s);
+  return groups;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t kmax = 32, kstep = 2, seed = 1;
+  util::CliParser cli(
+      "Figure 6 reproduction: intra-pod server-pair average path length vs k.");
+  cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
+  cli.add_int("kstep", &kstep, "k sweep step");
+  cli.add_int("seed", &seed, "random graph seed");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  util::Table table({"k", "flat-tree(local)", "fat-tree", "random-graph",
+                     "two-stage-random"});
+  for (std::uint32_t k : bench::k_values(kmax, kstep)) {
+    auto groups = pod_groups(k);
+    core::FlatTreeNetwork net = bench::profiled_network(k);
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 131 + k);
+
+    table.begin_row();
+    table.integer(k);
+    table.num(topo::server_apl_grouped(net.build(core::Mode::LocalRandom), groups).average);
+    table.num(topo::server_apl_grouped(topo::build_fat_tree(k).topo, groups).average);
+    table.num(topo::server_apl_grouped(topo::build_jellyfish_like_fat_tree(k, rng), groups)
+                  .average);
+    table.num(
+        topo::server_apl_grouped(topo::build_two_stage_random_graph(k, rng), groups)
+            .average);
+  }
+  table.print("Figure 6: average path length of server pairs in each pod");
+  std::puts("Paper shape: flat-tree < fat-tree < two-stage random < random graph.");
+  return 0;
+}

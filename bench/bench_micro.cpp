@@ -1,0 +1,76 @@
+// Microbenchmarks (google-benchmark): cost of the primitives behind the
+// figure harnesses — topology construction, conversion, BFS/APL, and the
+// max-concurrent-flow solver.
+
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hpp"
+#include "mcf/garg_koenemann.hpp"
+#include "topo/apl.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/random_graph.hpp"
+#include "workload/traffic.hpp"
+
+using namespace flattree;
+
+namespace {
+
+void BM_BuildFatTree(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(topo::build_fat_tree(k));
+}
+BENCHMARK(BM_BuildFatTree)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildFlatTreeGlobal(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  core::FlatTreeConfig cfg;
+  cfg.k = k;
+  core::FlatTreeNetwork net(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(net.build(core::Mode::GlobalRandom));
+}
+BENCHMARK(BM_BuildFlatTreeGlobal)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildJellyfish(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  util::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(topo::build_jellyfish_like_fat_tree(k, rng));
+}
+BENCHMARK(BM_BuildJellyfish)->Arg(8)->Arg(16);
+
+void BM_ServerApl(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  topo::FatTree ft = topo::build_fat_tree(k);
+  for (auto _ : state) benchmark::DoNotOptimize(topo::server_apl(ft.topo));
+}
+BENCHMARK(BM_ServerApl)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_ConversionPlan(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  core::FlatTreeConfig cfg;
+  cfg.k = k;
+  core::Controller controller(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(controller.plan(core::Mode::GlobalRandom));
+}
+BENCHMARK(BM_ConversionPlan)->Arg(8)->Arg(16);
+
+void BM_MaxConcurrentFlowBroadcast(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  topo::FatTree ft = topo::build_fat_tree(k);
+  util::Rng rng(11);
+  auto clusters = workload::make_clusters(
+      static_cast<std::uint32_t>(ft.topo.server_count()),
+      std::min<std::uint32_t>(100, static_cast<std::uint32_t>(ft.topo.server_count())),
+      workload::Placement::Locality, k * k / 4, rng);
+  auto demands = workload::cluster_traffic(clusters, workload::Pattern::Broadcast, rng);
+  auto commodities = mcf::aggregate_to_switches(ft.topo, demands);
+  mcf::McfOptions opt;
+  opt.epsilon = 0.15;
+  opt.compute_upper_bound = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mcf::max_concurrent_flow(ft.topo.graph(), commodities, opt));
+}
+BENCHMARK(BM_MaxConcurrentFlowBroadcast)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the paper's series as an aligned table plus a CSV
+// block (util::Table::print). Quick defaults finish in seconds; --full
+// switches to the paper's parameter ranges.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flat_tree.hpp"
+#include "mcf/garg_koenemann.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/cluster.hpp"
+#include "workload/traffic.hpp"
+
+namespace flattree::bench {
+
+/// Throughput lambda for a server-level demand set on a topology
+/// (switch-aggregated max concurrent flow, certified lower bound).
+inline double throughput(const topo::Topology& topo,
+                         const std::vector<mcf::ServerDemand>& demands, double epsilon,
+                         double* upper = nullptr) {
+  auto commodities = mcf::aggregate_to_switches(topo, demands);
+  if (commodities.empty()) return 0.0;
+  mcf::McfOptions opt;
+  opt.epsilon = epsilon;
+  opt.compute_upper_bound = upper != nullptr;
+  auto r = mcf::max_concurrent_flow(topo.graph(), commodities, opt);
+  if (upper != nullptr) *upper = r.lambda_upper;
+  return r.lambda_lower;
+}
+
+/// Cluster workload -> demands, averaged over `seeds` placements; returns
+/// the mean lambda.
+inline double mean_cluster_throughput(const topo::Topology& topo, std::uint32_t cluster_size,
+                                      workload::Placement placement,
+                                      workload::Pattern pattern,
+                                      std::uint32_t servers_per_pod, double epsilon,
+                                      std::uint64_t seed_base, std::uint32_t seeds) {
+  double sum = 0.0;
+  for (std::uint32_t s = 0; s < seeds; ++s) {
+    util::Rng rng(seed_base + s);
+    auto clusters = workload::make_clusters(
+        static_cast<std::uint32_t>(topo.server_count()), cluster_size, placement,
+        servers_per_pod, rng);
+    auto demands = workload::cluster_traffic(clusters, pattern, rng);
+    sum += throughput(topo, demands, epsilon);
+  }
+  return sum / static_cast<double>(seeds);
+}
+
+/// The k sweep used by the figures: 4..kmax step kstep.
+inline std::vector<std::uint32_t> k_values(std::int64_t kmax, std::int64_t kstep) {
+  std::vector<std::uint32_t> ks;
+  for (std::int64_t k = 4; k <= kmax; k += kstep) ks.push_back(static_cast<std::uint32_t>(k));
+  return ks;
+}
+
+/// Flat-tree with the paper's profiled (m, n) = (k/8, 2k/8).
+inline core::FlatTreeNetwork profiled_network(std::uint32_t k) {
+  core::FlatTreeConfig cfg;
+  cfg.k = k;
+  return core::FlatTreeNetwork(cfg);
+}
+
+}  // namespace flattree::bench

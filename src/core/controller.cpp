@@ -1,0 +1,75 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace flattree::core {
+
+Controller::Controller(FlatTreeConfig config)
+    : net_(config),
+      configs_(net_.assign_configs(Mode::Clos)),
+      pod_modes_(net_.params().pods(), Mode::Clos) {}
+
+namespace {
+
+/// Multiset of logical links as sorted (lo, hi) endpoint pairs.
+std::map<std::pair<topo::NodeId, topo::NodeId>, std::size_t> link_multiset(
+    const topo::Topology& topo) {
+  std::map<std::pair<topo::NodeId, topo::NodeId>, std::size_t> out;
+  for (const auto& link : topo.graph().links()) {
+    auto lo = std::min(link.a, link.b);
+    auto hi = std::max(link.a, link.b);
+    ++out[{lo, hi}];
+  }
+  return out;
+}
+
+}  // namespace
+
+ReconfigPlan Controller::diff(const std::vector<ConverterConfig>& from,
+                              const std::vector<ConverterConfig>& to) const {
+  ReconfigPlan plan;
+  for (std::uint32_t i = 0; i < from.size(); ++i)
+    if (from[i] != to[i]) plan.steps.push_back({i, from[i], to[i]});
+  if (plan.steps.empty()) return plan;
+
+  topo::Topology before = net_.materialize(from);
+  topo::Topology after = net_.materialize(to);
+  auto before_links = link_multiset(before);
+  auto after_links = link_multiset(after);
+  for (const auto& [pair, count] : before_links) {
+    auto it = after_links.find(pair);
+    std::size_t still = it == after_links.end() ? 0 : it->second;
+    if (count > still) plan.links_removed += count - still;
+  }
+  for (const auto& [pair, count] : after_links) {
+    auto it = before_links.find(pair);
+    std::size_t had = it == before_links.end() ? 0 : it->second;
+    if (count > had) plan.links_added += count - had;
+  }
+  for (topo::ServerId s = 0; s < before.server_count(); ++s)
+    if (before.host(s) != after.host(s)) ++plan.servers_moved;
+  return plan;
+}
+
+ReconfigPlan Controller::plan(const std::vector<Mode>& target) const {
+  return diff(configs_, net_.assign_configs(target));
+}
+
+ReconfigPlan Controller::plan(Mode target) const {
+  return plan(std::vector<Mode>(net_.params().pods(), target));
+}
+
+ReconfigPlan Controller::apply(const std::vector<Mode>& target) {
+  auto next = net_.assign_configs(target);
+  ReconfigPlan executed = diff(configs_, next);
+  configs_ = std::move(next);
+  pod_modes_ = target;
+  return executed;
+}
+
+ReconfigPlan Controller::apply(Mode target) {
+  return apply(std::vector<Mode>(net_.params().pods(), target));
+}
+
+}  // namespace flattree::core

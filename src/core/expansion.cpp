@@ -1,0 +1,39 @@
+#include "core/expansion.hpp"
+
+#include <stdexcept>
+
+namespace flattree::core {
+
+ExpansionPlan plan_expansion(const topo::ClosParams& current, std::uint32_t extra_pods,
+                             PodChain chain) {
+  if (extra_pods == 0) throw std::invalid_argument("plan_expansion: zero pods to add");
+  const std::uint32_t pods_after = current.pods() + extra_pods;
+  if (current.core_ports() < pods_after)
+    throw std::invalid_argument(
+        "plan_expansion: core switches have no spare ports (need core_ports >= pods + "
+        "extra; fat-tree layouts are full by construction)");
+
+  ExpansionPlan plan;
+  plan.before = current;
+  plan.after = topo::ClosParams::make_generic(
+      pods_after, current.d(), current.r(), current.h(), current.servers_per_edge(),
+      current.edge_ports(), current.agg_ports(), current.core_ports());
+  plan.pods_added = extra_pods;
+  plan.new_switches =
+      static_cast<std::size_t>(extra_pods) * (current.d() + current.aggs_per_pod());
+  plan.new_servers = static_cast<std::size_t>(extra_pods) * current.servers_per_pod();
+  // Every new pod lands h/r connectors per edge switch on the cores.
+  plan.new_core_links = static_cast<std::size_t>(extra_pods) * current.d() *
+                        (current.h() / current.r());
+  // Side chain: break one seam (ring) or extend the tail (linear), then
+  // connect each new pod into the chain.
+  plan.side_bundles_spliced = extra_pods + (chain == PodChain::Ring ? 1 : 0);
+  return plan;
+}
+
+FlatTreeNetwork expand(const FlatTreeNetwork& base, const ExpansionPlan& plan) {
+  return FlatTreeNetwork(plan.after, base.config().m, base.config().n,
+                         base.config().pattern, base.config().chain);
+}
+
+}  // namespace flattree::core

@@ -1,0 +1,38 @@
+#pragma once
+// Network expansion planning (paper Section 5: convertibility enables
+// "automatic up/down-scale [of] the network at busy/idle time").
+//
+// Flat-tree grows by whole pods: a new pod brings its converters and
+// cabling pre-packaged, plugs its core connectors into the spare core
+// ports, and splices into the side-connector chain. This module checks
+// feasibility against core-port headroom (fat-tree layouts have none — a
+// generic ClosParams with core_ports > pods is required) and itemizes the
+// physical work, then produces the expanded FlatTreeNetwork.
+
+#include <cstdint>
+
+#include "core/flat_tree.hpp"
+
+namespace flattree::core {
+
+struct ExpansionPlan {
+  topo::ClosParams before;
+  topo::ClosParams after;
+  std::uint32_t pods_added = 0;
+  std::size_t new_switches = 0;       ///< edge + aggregation switches shipped
+  std::size_t new_servers = 0;
+  std::size_t new_core_links = 0;     ///< cables from the new pods to cores
+  std::size_t side_bundles_spliced = 0;  ///< multi-link side connectors touched
+};
+
+/// Plans adding `extra_pods` pods to `current`. Throws
+/// std::invalid_argument when the core switches lack spare ports
+/// (core_ports < pods + extra_pods) or extra_pods == 0.
+ExpansionPlan plan_expansion(const topo::ClosParams& current, std::uint32_t extra_pods,
+                             PodChain chain = PodChain::Ring);
+
+/// Builds the expanded physical plant from a plan, preserving m, n and
+/// wiring choices of `base`.
+FlatTreeNetwork expand(const FlatTreeNetwork& base, const ExpansionPlan& plan);
+
+}  // namespace flattree::core

@@ -1,0 +1,45 @@
+#include "core/pod.hpp"
+
+#include <stdexcept>
+
+namespace flattree::core {
+
+PodLayout::PodLayout(const topo::ClosParams& params, std::uint32_t m_, std::uint32_t n_)
+    : d(params.d()), r(params.r()), m(m_), n(n_) {
+  if (m + n > params.h() / params.r())
+    throw std::invalid_argument("PodLayout: m + n exceeds h/r core connectors per edge");
+  if (m + n > params.servers_per_edge())
+    throw std::invalid_argument("PodLayout: m + n exceeds servers per edge switch");
+}
+
+std::uint32_t PodLayout::blade_a_slot(std::uint32_t row, std::uint32_t col) const {
+  if (row >= n || col >= d) throw std::out_of_range("PodLayout::blade_a_slot");
+  return row * d + col;
+}
+
+std::uint32_t PodLayout::blade_b_slot(std::uint32_t row, std::uint32_t col) const {
+  if (row >= m || col >= d) throw std::out_of_range("PodLayout::blade_b_slot");
+  return n * d + row * d + col;
+}
+
+PodLayout::SlotInfo PodLayout::slot_info(std::uint32_t slot) const {
+  if (slot >= converters_per_pod()) throw std::out_of_range("PodLayout::slot_info");
+  SlotInfo info;
+  if (slot < n * d) {
+    info.blade_b = false;
+    info.row = slot / d;
+    info.col = slot % d;
+  } else {
+    slot -= n * d;
+    info.blade_b = true;
+    info.row = slot / d;
+    info.col = slot % d;
+  }
+  return info;
+}
+
+std::uint32_t PodLayout::tapped_server(const SlotInfo& info) const {
+  return info.blade_b ? n + info.row : info.row;
+}
+
+}  // namespace flattree::core

@@ -1,0 +1,56 @@
+#pragma once
+// Flat-tree pod geometry (paper Section 2.2, Figure 3).
+//
+// Each pod pairs edge switch E_j with aggregation switch A_{j/r} and taps
+// them with n 4-port converters (blade A) and m 6-port converters (blade B).
+// Converters sit in row x column matrices on the two sides of the pod:
+// columns for edges E_0..E_{w-1} are on the left, E_w..E_{d-1} on the right
+// (w = floor(d/2)). Blade A rows are 0..n-1, blade B rows 0..m-1.
+//
+// Server tap convention: within edge switch E_j's servers (0..k/2-1 in
+// attachment order), blade A row i taps server i, blade B row i taps server
+// n+i; servers n+m.. stay hard-wired to the edge switch. The aggregation
+// uplinks tapped are decided by the pod-core wiring (core/wiring.hpp).
+
+#include <cstdint>
+
+#include "topo/fat_tree.hpp"
+
+namespace flattree::core {
+
+/// Per-pod converter matrix geometry and slot numbering. Slots are local
+/// to the pod: blade A occupies [0, n*d), blade B [n*d, (n+m)*d), with
+/// column-major-by-row layout slot = row*d + col (+ blade B base).
+struct PodLayout {
+  std::uint32_t d = 0;  ///< edge switches per pod
+  std::uint32_t r = 1;  ///< edge switches per aggregation switch
+  std::uint32_t m = 0;  ///< 6-port converters per (edge, agg) pair
+  std::uint32_t n = 0;  ///< 4-port converters per (edge, agg) pair
+
+  PodLayout() = default;
+  PodLayout(const topo::ClosParams& params, std::uint32_t m_, std::uint32_t n_);
+
+  std::uint32_t left_width() const { return d / 2; }
+  std::uint32_t right_width() const { return d - d / 2; }
+  bool on_left(std::uint32_t col) const { return col < left_width(); }
+
+  std::uint32_t converters_per_pod() const { return d * (m + n); }
+  std::uint32_t blade_a_slot(std::uint32_t row, std::uint32_t col) const;
+  std::uint32_t blade_b_slot(std::uint32_t row, std::uint32_t col) const;
+
+  /// Inverse of the slot mapping.
+  struct SlotInfo {
+    bool blade_b = false;
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;  ///< global edge index in [0, d)
+  };
+  SlotInfo slot_info(std::uint32_t slot) const;
+
+  /// Aggregation switch index paired with edge `col` (= col / r).
+  std::uint32_t agg_of(std::uint32_t col) const { return col / r; }
+
+  /// Server index (within the edge switch) tapped by a slot.
+  std::uint32_t tapped_server(const SlotInfo& info) const;
+};
+
+}  // namespace flattree::core

@@ -1,0 +1,97 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+
+namespace flattree::core {
+
+bool FailureSet::contains(NodeId node) const {
+  return std::find(failed_switches.begin(), failed_switches.end(), node) !=
+         failed_switches.end();
+}
+
+DegradedTopology apply_failures(const topo::Topology& source, const FailureSet& failures) {
+  DegradedTopology out;
+  std::vector<char> failed(source.switch_count(), 0);
+  for (NodeId node : failures.failed_switches)
+    if (node < source.switch_count()) failed[node] = 1;
+
+  // Rebuild with the same switch ids; drop links touching failed switches.
+  for (NodeId v = 0; v < source.switch_count(); ++v) {
+    const topo::SwitchInfo& info = source.info(v);
+    out.topo.add_switch(info.kind, info.pod, info.index, info.ports);
+  }
+  for (graph::LinkId l = 0; l < source.link_count(); ++l) {
+    const graph::Link& link = source.graph().link(l);
+    if (failed[link.a] || failed[link.b]) {
+      ++out.failed_links;
+      continue;
+    }
+    out.topo.add_link(link.a, link.b, source.link_info(l).origin, link.capacity);
+  }
+  for (ServerId s = 0; s < source.server_count(); ++s) {
+    NodeId host = source.host(s);
+    out.topo.add_server(host);
+    if (failed[host]) out.stranded_servers.push_back(s);
+  }
+  return out;
+}
+
+namespace {
+
+/// Where a configuration homes the tapped server.
+topo::NodeId server_home(const Converter& c, ConverterConfig cfg) {
+  switch (cfg) {
+    case ConverterConfig::Default: return c.edge;
+    case ConverterConfig::Local: return c.agg;
+    case ConverterConfig::Side:
+    case ConverterConfig::Cross: return c.core;
+  }
+  return c.edge;
+}
+
+/// Best standalone configuration avoiding failed switches (prefer the
+/// aggregation home; fall back to the edge; keep `local` if both died —
+/// nothing reachable remains for that server).
+ConverterConfig safe_standalone(const Converter& c, const FailureSet& failures) {
+  if (!failures.contains(c.agg)) return ConverterConfig::Local;
+  if (!failures.contains(c.edge)) return ConverterConfig::Default;
+  return ConverterConfig::Local;
+}
+
+}  // namespace
+
+std::vector<ConverterConfig> plan_recovery(const FlatTreeNetwork& net,
+                                           const std::vector<ConverterConfig>& configs,
+                                           const FailureSet& failures) {
+  std::vector<ConverterConfig> recovered = configs;
+  const auto& converters = net.converters();
+  for (std::uint32_t i = 0; i < converters.size(); ++i) {
+    const Converter& c = converters[i];
+    ConverterConfig cfg = recovered[i];
+    bool paired_cfg = cfg == ConverterConfig::Side || cfg == ConverterConfig::Cross;
+    if (paired_cfg) {
+      // A side/cross pair is a joint configuration: if either end homes
+      // its server on a failed core, flip BOTH ends to safe standalone
+      // configurations (standalone choices need not match).
+      const Converter& peer = converters[c.peer];
+      if (!failures.contains(c.core) && !failures.contains(peer.core)) continue;
+      recovered[i] = safe_standalone(c, failures);
+      recovered[c.peer] = safe_standalone(peer, failures);
+    } else if (failures.contains(server_home(c, cfg))) {
+      recovered[i] = safe_standalone(c, failures);
+    }
+  }
+  return recovered;
+}
+
+std::size_t stranded_server_count(const FlatTreeNetwork& net,
+                                  const std::vector<ConverterConfig>& configs,
+                                  const FailureSet& failures) {
+  topo::Topology t = net.materialize(configs);
+  std::size_t stranded = 0;
+  for (ServerId s = 0; s < t.server_count(); ++s)
+    if (failures.contains(t.host(s))) ++stranded;
+  return stranded;
+}
+
+}  // namespace flattree::core

@@ -1,0 +1,58 @@
+#pragma once
+// Failure model and convertibility-based recovery (paper Section 5:
+// "convertibility can play a broader role in network management, e.g.
+// self-recovery of the topology from failures").
+//
+// In a static topology a failed core switch strands everything wired to
+// it. In flat-tree the converter that wired a server to a core can simply
+// be reconfigured: a 6-port pair in side/cross whose core died flips to a
+// standalone configuration, re-homing the server onto the aggregation
+// switch instantly — no recabling. This module models switch failures,
+// materializes the degraded logical topology, and computes the recovery
+// reconfiguration.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flat_tree.hpp"
+
+namespace flattree::core {
+
+/// Failed equipment (switch granularity; converter switches are assumed
+/// reliable — they are passive circuit devices).
+struct FailureSet {
+  std::vector<NodeId> failed_switches;
+
+  bool contains(NodeId node) const;
+};
+
+/// The degraded logical network: `topo` with failed switches' links
+/// removed (the switches stay as isolated graph nodes so ids are stable).
+struct DegradedTopology {
+  topo::Topology topo;
+  /// Servers with no usable attachment (homed on a failed switch).
+  std::vector<ServerId> stranded_servers;
+  /// Links lost to the failures.
+  std::size_t failed_links = 0;
+};
+
+/// Applies failures to a materialized topology. Servers on failed
+/// switches are reported stranded; all other servers keep their host.
+DegradedTopology apply_failures(const topo::Topology& topo, const FailureSet& failures);
+
+/// Recovery by reconfiguration: every converter whose configuration homes
+/// its server on a failed core switch (side/cross) is flipped — together
+/// with its peer — to `local`, moving both servers to their aggregation
+/// switches. Returns the updated assignment; configs not affected by the
+/// failures are untouched.
+std::vector<ConverterConfig> plan_recovery(const FlatTreeNetwork& net,
+                                           const std::vector<ConverterConfig>& configs,
+                                           const FailureSet& failures);
+
+/// Count of servers that would be stranded under `configs` + `failures`
+/// (before applying any recovery).
+std::size_t stranded_server_count(const FlatTreeNetwork& net,
+                                  const std::vector<ConverterConfig>& configs,
+                                  const FailureSet& failures);
+
+}  // namespace flattree::core

@@ -1,0 +1,51 @@
+#include "core/zones.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flattree::core {
+
+std::vector<std::uint32_t> ZonePartition::pods_in(Mode mode) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t p = 0; p < pod_modes.size(); ++p)
+    if (pod_modes[p] == mode) out.push_back(p);
+  return out;
+}
+
+ZonePartition ZonePartition::proportion(std::uint32_t pods, double global_fraction,
+                                        Mode rest) {
+  if (global_fraction < 0.0 || global_fraction > 1.0)
+    throw std::invalid_argument("ZonePartition::proportion: fraction outside [0,1]");
+  std::uint32_t global_pods = static_cast<std::uint32_t>(
+      std::lround(global_fraction * static_cast<double>(pods)));
+  ZonePartition z;
+  z.pod_modes.assign(pods, rest);
+  for (std::uint32_t p = 0; p < global_pods; ++p) z.pod_modes[p] = Mode::GlobalRandom;
+  return z;
+}
+
+std::vector<ServerId> servers_in_pods(const FlatTreeNetwork& net,
+                                      const std::vector<std::uint32_t>& pods) {
+  std::vector<ServerId> out;
+  const std::uint32_t per_pod = net.params().servers_per_pod();
+  for (std::uint32_t pod : pods) {
+    ServerId base = pod * per_pod;
+    for (std::uint32_t s = 0; s < per_pod; ++s) out.push_back(base + s);
+  }
+  return out;
+}
+
+ZonePartition recommend_zones(std::uint32_t pods, const WorkloadHint& hint) {
+  std::uint64_t total = hint.servers_in_large_clusters + hint.servers_in_small_clusters;
+  if (total == 0) return ZonePartition::proportion(pods, 0.0, Mode::Clos);
+  double fraction = static_cast<double>(hint.servers_in_large_clusters) /
+                    static_cast<double>(total);
+  std::uint32_t global_pods =
+      static_cast<std::uint32_t>(std::lround(fraction * static_cast<double>(pods)));
+  if (hint.servers_in_large_clusters > 0 && global_pods == 0) global_pods = 1;
+  if (hint.servers_in_small_clusters > 0 && global_pods == pods) global_pods = pods - 1;
+  return ZonePartition::proportion(
+      pods, static_cast<double>(global_pods) / static_cast<double>(pods));
+}
+
+}  // namespace flattree::core

@@ -1,0 +1,45 @@
+#pragma once
+// Hybrid-mode zoning (paper Sections 2.6 and 3.4).
+//
+// A zone is a set of pods operating in one mode. The controller places
+// workloads into the zone whose topology suits them: large clusters into a
+// global-random-graph zone, small all-to-all clusters into a local-random-
+// graph zone. Section 3.4 splits the network into two zones at varying
+// proportions and shows per-zone throughput equals that of a dedicated
+// network.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flat_tree.hpp"
+
+namespace flattree::core {
+
+struct ZonePartition {
+  std::vector<Mode> pod_modes;  ///< one entry per pod
+
+  /// Pods operating in `mode`, in ascending order.
+  std::vector<std::uint32_t> pods_in(Mode mode) const;
+
+  /// First round(global_fraction * pods) pods run GlobalRandom, the rest
+  /// `rest` (default LocalRandom) — the paper's Section 3.4 split.
+  static ZonePartition proportion(std::uint32_t pods, double global_fraction,
+                                  Mode rest = Mode::LocalRandom);
+};
+
+/// Servers homed in the given pods (by fat-tree id layout), ascending.
+std::vector<ServerId> servers_in_pods(const FlatTreeNetwork& net,
+                                      const std::vector<std::uint32_t>& pods);
+
+/// Simple workload descriptor for adaptive zone selection.
+struct WorkloadHint {
+  std::uint64_t servers_in_large_clusters = 0;  ///< clusters spanning pods
+  std::uint64_t servers_in_small_clusters = 0;  ///< clusters fitting in a pod
+};
+
+/// Recommends a partition: the share of pods given to the global zone is
+/// the share of servers in large clusters (rounded), at least one pod per
+/// non-empty class of workload.
+ZonePartition recommend_zones(std::uint32_t pods, const WorkloadHint& hint);
+
+}  // namespace flattree::core

@@ -1,0 +1,109 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::vector<NodeId> queue;
+  queue.reserve(g.node_count());
+  dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    for (const Arc& arc : g.neighbors(u)) {
+      if (dist[arc.to] == kUnreachable) {
+        dist[arc.to] = dist[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
+                                                  const std::vector<char>& allowed) {
+  if (allowed.size() != g.node_count())
+    throw std::invalid_argument("bfs_distances_filtered: mask size mismatch");
+  if (!allowed[source])
+    throw std::invalid_argument("bfs_distances_filtered: source not allowed");
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::vector<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    for (const Arc& arc : g.neighbors(u)) {
+      if (allowed[arc.to] && dist[arc.to] == kUnreachable) {
+        dist[arc.to] = dist[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId source) {
+  BfsTree t;
+  t.dist.assign(g.node_count(), kUnreachable);
+  t.parent.assign(g.node_count(), kInvalidNode);
+  t.parent_link.assign(g.node_count(), kInvalidLink);
+  std::vector<NodeId> queue;
+  t.dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    for (const Arc& arc : g.neighbors(u)) {
+      if (t.dist[arc.to] == kUnreachable) {
+        t.dist[arc.to] = t.dist[u] + 1;
+        t.parent[arc.to] = u;
+        t.parent_link[arc.to] = arc.link;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target) {
+  if (tree.dist[target] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = tree.parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  auto dist = bfs_distances(g, 0);
+  for (auto d : dist)
+    if (d == kUnreachable) return false;
+  return true;
+}
+
+std::size_t component_count(const Graph& g) {
+  std::size_t components = 0;
+  std::vector<char> seen(g.node_count(), 0);
+  std::vector<NodeId> queue;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (seen[s]) continue;
+    ++components;
+    seen[s] = 1;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      NodeId u = queue[head];
+      for (const Arc& arc : g.neighbors(u)) {
+        if (!seen[arc.to]) {
+          seen[arc.to] = 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace flattree::graph

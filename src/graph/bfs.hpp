@@ -1,0 +1,40 @@
+#pragma once
+// Unweighted shortest paths (BFS) and reachability.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flattree::graph {
+
+/// Hop distance marker for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// Single-source hop distances. O(V + E).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Single-source distances restricted to nodes for which `allowed[v]` is
+/// true (the source must be allowed). Used for intra-pod path lengths.
+std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
+                                                  const std::vector<char>& allowed);
+
+/// BFS tree: parent arc per node (kInvalidLink at source/unreached).
+struct BfsTree {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;
+  std::vector<LinkId> parent_link;
+};
+BfsTree bfs_tree(const Graph& g, NodeId source);
+
+/// Reconstructs a node path source..target from a BFS tree; empty when
+/// target is unreachable.
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target);
+
+/// True when every node is reachable from node 0 (or the graph is empty).
+bool is_connected(const Graph& g);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+}  // namespace flattree::graph

@@ -1,0 +1,67 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace flattree::graph {
+
+Graph::Graph(std::size_t node_count) : node_count_(node_count) {}
+
+NodeId Graph::add_nodes(std::size_t count) {
+  NodeId first = static_cast<NodeId>(node_count_);
+  node_count_ += count;
+  csr_valid_ = false;
+  return first;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, double capacity) {
+  if (a >= node_count_ || b >= node_count_)
+    throw std::out_of_range("Graph::add_link: endpoint out of range");
+  if (a == b) throw std::invalid_argument("Graph::add_link: self-loop");
+  if (capacity <= 0.0) throw std::invalid_argument("Graph::add_link: non-positive capacity");
+  links_.push_back(Link{a, b, capacity});
+  csr_valid_ = false;
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+std::size_t Graph::degree(NodeId node) const {
+  auto arcs = neighbors(node);
+  return arcs.size();
+}
+
+void Graph::build_csr() const {
+  csr_offset_.assign(node_count_ + 1, 0);
+  for (const Link& l : links_) {
+    ++csr_offset_[l.a + 1];
+    ++csr_offset_[l.b + 1];
+  }
+  for (std::size_t i = 1; i <= node_count_; ++i) csr_offset_[i] += csr_offset_[i - 1];
+  csr_arcs_.resize(links_.size() * 2);
+  std::vector<std::uint32_t> cursor(csr_offset_.begin(), csr_offset_.end() - 1);
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    const Link& l = links_[id];
+    csr_arcs_[cursor[l.a]++] = Arc{l.b, id};
+    csr_arcs_[cursor[l.b]++] = Arc{l.a, id};
+  }
+  csr_valid_ = true;
+}
+
+std::span<const Arc> Graph::neighbors(NodeId node) const {
+  if (node >= node_count_) throw std::out_of_range("Graph::neighbors: node out of range");
+  if (!csr_valid_) build_csr();
+  return {csr_arcs_.data() + csr_offset_[node], csr_offset_[node + 1] - csr_offset_[node]};
+}
+
+bool Graph::connected(NodeId a, NodeId b) const {
+  for (const Arc& arc : neighbors(a))
+    if (arc.to == b) return true;
+  return false;
+}
+
+double Graph::capacity_between(NodeId a, NodeId b) const {
+  double total = 0.0;
+  for (const Arc& arc : neighbors(a))
+    if (arc.to == b) total += links_[arc.link].capacity;
+  return total;
+}
+
+}  // namespace flattree::graph

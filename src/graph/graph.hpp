@@ -1,0 +1,80 @@
+#pragma once
+// Undirected multigraph with per-link capacities and a CSR adjacency view.
+//
+// Topologies (src/topo, src/core) build Graph instances; algorithms (BFS,
+// Dijkstra, k-shortest-paths) and the flow solvers consume them. Links are
+// undirected at construction; solvers that need directed capacities treat
+// each link as a pair of opposing arcs with the full link capacity each
+// (full-duplex), which is the standard model in DCN throughput studies.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flattree::graph {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr LinkId kInvalidLink = ~LinkId{0};
+
+/// One undirected link. Parallel links between the same node pair are
+/// allowed (each keeps its own capacity); self-loops are rejected.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double capacity = 1.0;
+
+  /// The endpoint opposite to `from` (precondition: from is an endpoint).
+  NodeId other(NodeId from) const { return from == a ? b : a; }
+};
+
+/// Half-edge in the adjacency view: the neighbor plus the link it rides on.
+struct Arc {
+  NodeId to = kInvalidNode;
+  LinkId link = kInvalidLink;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  /// Appends `count` fresh nodes, returning the id of the first.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds an undirected link; throws on self-loop or unknown endpoint.
+  LinkId add_link(NodeId a, NodeId b, double capacity = 1.0);
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t link_count() const { return links_.size(); }
+  const Link& link(LinkId id) const { return links_[id]; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Number of link endpoints at `node` (counts parallel links).
+  std::size_t degree(NodeId node) const;
+
+  /// Arcs leaving `node`. Builds the CSR index lazily on first use;
+  /// adding links afterwards invalidates and rebuilds it.
+  std::span<const Arc> neighbors(NodeId node) const;
+
+  /// True if a link (possibly one of several) joins a and b.
+  bool connected(NodeId a, NodeId b) const;
+
+  /// Total capacity between a and b over all parallel links.
+  double capacity_between(NodeId a, NodeId b) const;
+
+ private:
+  void build_csr() const;
+
+  std::size_t node_count_ = 0;
+  std::vector<Link> links_;
+
+  // Lazily built CSR adjacency.
+  mutable bool csr_valid_ = false;
+  mutable std::vector<std::uint32_t> csr_offset_;
+  mutable std::vector<Arc> csr_arcs_;
+};
+
+}  // namespace flattree::graph

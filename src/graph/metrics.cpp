@@ -1,0 +1,107 @@
+#include "graph/metrics.hpp"
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace flattree::graph {
+
+namespace {
+
+AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
+                         const std::vector<char>* member, bool confine_paths,
+                         std::uint32_t offset, std::uint32_t same_node_dist) {
+  if (weight.size() != g.node_count())
+    throw std::invalid_argument("weighted_apl: weight size mismatch");
+
+  // Unordered pairs: iterate sources in id order and count only targets
+  // with a larger id, plus same-node pairs once.
+  long double total = 0.0L;
+  std::uint64_t pairs = 0;
+  std::uint32_t max_dist = 0;
+
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (weight[u] == 0) continue;
+    if (member != nullptr && !(*member)[u]) continue;
+    // Same-node server pairs.
+    std::uint64_t wu = weight[u];
+    if (wu >= 2) {
+      std::uint64_t p = wu * (wu - 1) / 2;
+      total += static_cast<long double>(p) * same_node_dist;
+      pairs += p;
+      max_dist = std::max(max_dist, same_node_dist);
+    }
+    std::vector<std::uint32_t> dist =
+        confine_paths && member != nullptr ? bfs_distances_filtered(g, u, *member)
+                                           : bfs_distances(g, u);
+    for (NodeId v = u + 1; v < g.node_count(); ++v) {
+      if (weight[v] == 0) continue;
+      if (member != nullptr && !(*member)[v]) continue;
+      if (dist[v] == kUnreachable)
+        throw std::runtime_error("weighted_apl: weighted pair disconnected");
+      std::uint64_t p = wu * weight[v];
+      std::uint32_t d = dist[v] + offset;
+      total += static_cast<long double>(p) * d;
+      pairs += p;
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  AplResult r;
+  r.pairs = pairs;
+  r.max_dist = max_dist;
+  r.average = pairs ? static_cast<double>(total / static_cast<long double>(pairs)) : 0.0;
+  return r;
+}
+
+}  // namespace
+
+AplResult weighted_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
+                       std::uint32_t offset, std::uint32_t same_node_dist) {
+  return accumulate_apl(g, weight, nullptr, false, offset, same_node_dist);
+}
+
+AplResult weighted_apl_subset(const Graph& g, const std::vector<std::uint32_t>& weight,
+                              const std::vector<char>& member, bool confine_paths,
+                              std::uint32_t offset, std::uint32_t same_node_dist) {
+  if (member.size() != g.node_count())
+    throw std::invalid_argument("weighted_apl_subset: member mask size mismatch");
+  return accumulate_apl(g, weight, &member, confine_paths, offset, same_node_dist);
+}
+
+double unweighted_apl(const Graph& g) {
+  long double total = 0.0L;
+  std::uint64_t pairs = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    auto dist = bfs_distances(g, u);
+    for (NodeId v = u + 1; v < g.node_count(); ++v) {
+      if (dist[v] == kUnreachable) continue;
+      total += dist[v];
+      ++pairs;
+    }
+  }
+  return pairs ? static_cast<double>(total / static_cast<long double>(pairs)) : 0.0;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    auto dist = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (dist[v] == kUnreachable) throw std::runtime_error("diameter: graph disconnected");
+      best = std::max(best, dist[v]);
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    std::size_t d = g.degree(u);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace flattree::graph

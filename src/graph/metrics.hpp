@@ -1,0 +1,48 @@
+#pragma once
+// Graph-level metrics: weighted average path length, diameter, degrees.
+//
+// The paper's Figures 5 and 6 are average path lengths over *server pairs*.
+// Servers attach to switches, so the server-pair APL is a switch-pair APL
+// weighted by the product of server counts, plus the two server-switch
+// attachment links. The weighted engine here takes a per-node weight vector
+// (servers per switch) and an additive hop offset (2 for the attachment
+// links), computed exactly by one BFS per weighted node.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flattree::graph {
+
+struct AplResult {
+  double average = 0.0;       ///< weighted mean distance (hops)
+  std::uint64_t pairs = 0;    ///< number of weighted pairs (unordered)
+  std::uint32_t max_dist = 0; ///< max distance seen among weighted pairs
+};
+
+/// Average over unordered pairs (u,v), u != v or same-node pairs among
+/// distinct endpoints: sum over node pairs of w[u]*w[v] pairs at distance
+/// d(u,v) + offset, plus w[u]*(w[u]-1)/2 same-node pairs at distance
+/// `same_node_dist`. Throws if any weighted pair is disconnected.
+AplResult weighted_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
+                       std::uint32_t offset, std::uint32_t same_node_dist);
+
+/// Same metric restricted to nodes with allowed[v] == true: paths may only
+/// traverse allowed nodes (used for intra-pod APL in local-RG mode... the
+/// paper measures pairs in the same pod but allows paths to exit the pod;
+/// set `confine_paths` false for that reading).
+AplResult weighted_apl_subset(const Graph& g, const std::vector<std::uint32_t>& weight,
+                              const std::vector<char>& member, bool confine_paths,
+                              std::uint32_t offset, std::uint32_t same_node_dist);
+
+/// Unweighted switch-level APL over all connected node pairs.
+double unweighted_apl(const Graph& g);
+
+/// Graph diameter (max eccentricity); throws on disconnected graphs.
+std::uint32_t diameter(const Graph& g);
+
+/// Histogram of node degrees (index = degree).
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace flattree::graph

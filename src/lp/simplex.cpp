@@ -1,0 +1,229 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flattree::lp {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::Optimal: return "optimal";
+    case LpStatus::Infeasible: return "infeasible";
+    case LpStatus::Unbounded: return "unbounded";
+    case LpStatus::IterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+LpProblem::LpProblem(std::size_t num_vars) : objective_(num_vars, 0.0) {}
+
+void LpProblem::set_objective(std::size_t var, double coeff) {
+  objective_.at(var) = coeff;
+}
+
+void LpProblem::add_row(const std::vector<double>& coeffs, RowType type, double rhs) {
+  if (coeffs.size() != num_vars())
+    throw std::invalid_argument("LpProblem::add_row: coefficient count mismatch");
+  rows_.push_back(coeffs);
+  types_.push_back(type);
+  rhs_.push_back(rhs);
+}
+
+void LpProblem::add_row_sparse(const std::vector<std::pair<std::size_t, double>>& terms,
+                               RowType type, double rhs) {
+  std::vector<double> coeffs(num_vars(), 0.0);
+  for (auto [var, coeff] : terms) coeffs.at(var) += coeff;
+  add_row(coeffs, type, rhs);
+}
+
+const std::vector<double>& LpProblem::row_coeffs(std::size_t row) const {
+  return rows_.at(row);
+}
+RowType LpProblem::row_type(std::size_t row) const { return types_.at(row); }
+double LpProblem::row_rhs(std::size_t row) const { return rhs_.at(row); }
+
+namespace {
+
+/// Dense tableau simplex core. Columns: structural vars, then slack/surplus,
+/// then artificials, then RHS.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p, const LpOptions& opt) : opt_(opt) {
+    const std::size_t m = p.num_rows();
+    n_struct_ = p.num_vars();
+    std::size_t slacks = 0, artificials = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      RowType t = normalized_type(p, r);
+      if (t != RowType::Eq) ++slacks;
+      if (t != RowType::Le) ++artificials;
+    }
+    n_slack_ = slacks;
+    n_art_ = artificials;
+    cols_ = n_struct_ + n_slack_ + n_art_ + 1;  // +1 for RHS
+    a_.assign(m, std::vector<double>(cols_, 0.0));
+    basis_.assign(m, 0);
+
+    std::size_t slack_cursor = n_struct_;
+    std::size_t art_cursor = n_struct_ + n_slack_;
+    for (std::size_t r = 0; r < m; ++r) {
+      double sign = p.row_rhs(r) < 0 ? -1.0 : 1.0;
+      RowType t = normalized_type(p, r);
+      for (std::size_t v = 0; v < n_struct_; ++v) a_[r][v] = sign * p.row_coeffs(r)[v];
+      a_[r][cols_ - 1] = sign * p.row_rhs(r);
+      if (t == RowType::Le) {
+        a_[r][slack_cursor] = 1.0;
+        basis_[r] = slack_cursor++;
+      } else if (t == RowType::Ge) {
+        a_[r][slack_cursor] = -1.0;
+        ++slack_cursor;
+        a_[r][art_cursor] = 1.0;
+        basis_[r] = art_cursor++;
+      } else {
+        a_[r][art_cursor] = 1.0;
+        basis_[r] = art_cursor++;
+      }
+    }
+  }
+
+  LpSolution run(const LpProblem& p) {
+    const std::size_t m = a_.size();
+    LpSolution sol;
+    if (n_art_ > 0) {
+      // Phase 1: maximize -(sum of artificials).
+      std::vector<double> cost(cols_ - 1, 0.0);
+      for (std::size_t v = n_struct_ + n_slack_; v < cols_ - 1; ++v) cost[v] = -1.0;
+      LpStatus st = optimize(cost, /*forbid_art=*/false);
+      if (st == LpStatus::IterationLimit) {
+        sol.status = st;
+        return sol;
+      }
+      double art_sum = 0.0;
+      for (std::size_t r = 0; r < m; ++r)
+        if (basis_[r] >= n_struct_ + n_slack_) art_sum += a_[r][cols_ - 1];
+      if (art_sum > 1e-7) {
+        sol.status = LpStatus::Infeasible;
+        return sol;
+      }
+      // Pivot remaining (degenerate) artificials out where possible; rows
+      // with no eligible pivot are redundant and their artificial simply
+      // never re-enters (phase 2 forbids artificial columns).
+      for (std::size_t r = 0; r < m; ++r) {
+        if (basis_[r] < n_struct_ + n_slack_) continue;
+        for (std::size_t v = 0; v < n_struct_ + n_slack_; ++v) {
+          if (std::fabs(a_[r][v]) > opt_.eps) {
+            pivot(r, v);
+            break;
+          }
+        }
+      }
+    }
+    // Phase 2.
+    std::vector<double> cost(cols_ - 1, 0.0);
+    for (std::size_t v = 0; v < n_struct_; ++v) cost[v] = p.objective(v);
+    LpStatus st = optimize(cost, /*forbid_art=*/true);
+    sol.status = st;
+    if (st != LpStatus::Optimal) return sol;
+    sol.x.assign(n_struct_, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+      if (basis_[r] < n_struct_) sol.x[basis_[r]] = a_[r][cols_ - 1];
+    sol.objective = 0.0;
+    for (std::size_t v = 0; v < n_struct_; ++v) sol.objective += p.objective(v) * sol.x[v];
+    return sol;
+  }
+
+ private:
+  static RowType normalized_type(const LpProblem& p, std::size_t r) {
+    RowType t = p.row_type(r);
+    if (p.row_rhs(r) >= 0) return t;
+    // Multiplying a row by -1 flips the inequality direction.
+    if (t == RowType::Le) return RowType::Ge;
+    if (t == RowType::Ge) return RowType::Le;
+    return RowType::Eq;
+  }
+
+  /// Maximizes cost.x over the current tableau. Dantzig rule, switching to
+  /// Bland's rule after a stall threshold (anti-cycling guarantee).
+  LpStatus optimize(const std::vector<double>& cost, bool forbid_art) {
+    const std::size_t m = a_.size();
+    const std::size_t art_begin = n_struct_ + n_slack_;
+    std::vector<double> reduced(cols_ - 1);
+    const std::size_t bland_after = 2000;
+    for (std::size_t iter = 0; iter < opt_.max_iterations; ++iter) {
+      // reduced_j = c_j - c_B . (B^{-1}A)_j; the tableau stores B^{-1}A.
+      for (std::size_t j = 0; j < cols_ - 1; ++j) reduced[j] = cost[j];
+      for (std::size_t r = 0; r < m; ++r) {
+        double cb = cost[basis_[r]];
+        if (cb == 0.0) continue;
+        const std::vector<double>& row = a_[r];
+        for (std::size_t j = 0; j < cols_ - 1; ++j) reduced[j] -= cb * row[j];
+      }
+      std::size_t enter = cols_;
+      bool bland = iter >= bland_after;
+      double best = opt_.eps;
+      for (std::size_t j = 0; j < cols_ - 1; ++j) {
+        if (forbid_art && j >= art_begin) continue;
+        if (reduced[j] > (bland ? opt_.eps : best)) {
+          enter = j;
+          if (bland) break;
+          best = reduced[j];
+        }
+      }
+      if (enter == cols_) return LpStatus::Optimal;
+      std::size_t leave = m;
+      double best_ratio = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (a_[r][enter] > opt_.eps) {
+          double ratio = a_[r][cols_ - 1] / a_[r][enter];
+          if (leave == m || ratio < best_ratio - opt_.eps ||
+              (std::fabs(ratio - best_ratio) <= opt_.eps && basis_[r] < basis_[leave])) {
+            leave = r;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave == m) return LpStatus::Unbounded;
+      pivot(leave, enter);
+    }
+    return LpStatus::IterationLimit;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const std::size_t m = a_.size();
+    double p = a_[row][col];
+    for (std::size_t j = 0; j < cols_; ++j) a_[row][j] /= p;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == row) continue;
+      double f = a_[r][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) a_[r][j] -= f * a_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  LpOptions opt_;
+  std::size_t n_struct_ = 0, n_slack_ = 0, n_art_ = 0, cols_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve(const LpProblem& problem, const LpOptions& options) {
+  if (problem.num_rows() == 0) {
+    LpSolution sol;
+    for (std::size_t v = 0; v < problem.num_vars(); ++v) {
+      if (problem.objective(v) > 0) {
+        sol.status = LpStatus::Unbounded;
+        return sol;
+      }
+    }
+    sol.status = LpStatus::Optimal;
+    sol.x.assign(problem.num_vars(), 0.0);
+    sol.objective = 0.0;
+    return sol;
+  }
+  Tableau tableau(problem, options);
+  return tableau.run(problem);
+}
+
+}  // namespace flattree::lp

@@ -1,0 +1,69 @@
+#pragma once
+// Dense two-phase primal simplex LP solver.
+//
+// The paper computes throughput by solving the maximum concurrent
+// multicommodity flow LP. This solver provides *exact* optima for small
+// instances: it cross-validates the Garg-Koenemann FPTAS (src/mcf) and
+// powers unit tests with closed-form answers. It is a textbook tableau
+// implementation — O(rows * cols) per pivot — deliberately favoring
+// clarity and numeric robustness (two-phase, Bland's rule fallback) over
+// scale; full-size experiments use the FPTAS.
+//
+// Problem form:  maximize c.x  subject to  rows (<=, >=, ==),  x >= 0.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flattree::lp {
+
+enum class RowType : std::uint8_t { Le, Ge, Eq };
+enum class LpStatus : std::uint8_t { Optimal, Infeasible, Unbounded, IterationLimit };
+
+const char* to_string(LpStatus status);
+
+class LpProblem {
+ public:
+  /// Creates a problem with `num_vars` variables, all objective
+  /// coefficients 0 (set via set_objective).
+  explicit LpProblem(std::size_t num_vars);
+
+  std::size_t num_vars() const { return objective_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  void set_objective(std::size_t var, double coeff);
+  double objective(std::size_t var) const { return objective_.at(var); }
+
+  /// Adds a dense constraint row; `coeffs` must have num_vars entries.
+  void add_row(const std::vector<double>& coeffs, RowType type, double rhs);
+
+  /// Adds a sparse constraint row given (var, coeff) terms.
+  void add_row_sparse(const std::vector<std::pair<std::size_t, double>>& terms,
+                      RowType type, double rhs);
+
+  const std::vector<double>& row_coeffs(std::size_t row) const;
+  RowType row_type(std::size_t row) const;
+  double row_rhs(std::size_t row) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<RowType> types_;
+  std::vector<double> rhs_;
+};
+
+struct LpOptions {
+  std::size_t max_iterations = 50'000;
+  double eps = 1e-9;  ///< pivot / feasibility tolerance
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the problem; `x` is populated only for Optimal.
+LpSolution solve(const LpProblem& problem, const LpOptions& options = {});
+
+}  // namespace flattree::lp

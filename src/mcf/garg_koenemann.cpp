@@ -1,0 +1,202 @@
+#include "mcf/garg_koenemann.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace flattree::mcf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Directed view of an undirected Graph: arc 2l = link l (a->b),
+/// arc 2l+1 = (b->a), each with the full link capacity.
+struct DirectedNet {
+  std::size_t nodes = 0;
+  std::vector<NodeId> head;       ///< arc -> destination node
+  std::vector<double> cap;        ///< arc capacity
+  std::vector<std::uint32_t> offset;  ///< CSR: arcs leaving each node
+  std::vector<std::uint32_t> arcs;    ///< CSR payload: arc ids
+
+  explicit DirectedNet(const graph::Graph& g) {
+    nodes = g.node_count();
+    const auto& links = g.links();
+    head.resize(links.size() * 2);
+    cap.resize(links.size() * 2);
+    offset.assign(nodes + 1, 0);
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      head[2 * l] = links[l].b;
+      head[2 * l + 1] = links[l].a;
+      cap[2 * l] = cap[2 * l + 1] = links[l].capacity;
+      ++offset[links[l].a + 1];
+      ++offset[links[l].b + 1];
+    }
+    for (std::size_t v = 1; v <= nodes; ++v) offset[v] += offset[v - 1];
+    arcs.resize(links.size() * 2);
+    std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      arcs[cursor[links[l].a]++] = static_cast<std::uint32_t>(2 * l);
+      arcs[cursor[links[l].b]++] = static_cast<std::uint32_t>(2 * l + 1);
+    }
+  }
+
+  std::size_t arc_count() const { return head.size(); }
+};
+
+struct Tree {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> parent_arc;  ///< arc entering each node
+};
+
+void dijkstra(const DirectedNet& net, NodeId src, const std::vector<double>& length,
+              Tree& tree) {
+  tree.dist.assign(net.nodes, kInf);
+  tree.parent_arc.assign(net.nodes, ~0u);
+  struct Entry {
+    double d;
+    NodeId v;
+    bool operator>(const Entry& o) const { return d > o.d; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.dist[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[u]) continue;
+    for (std::uint32_t idx = net.offset[u]; idx < net.offset[u + 1]; ++idx) {
+      std::uint32_t a = net.arcs[idx];
+      NodeId v = net.head[a];
+      double nd = d + length[a];
+      if (nd < tree.dist[v]) {
+        tree.dist[v] = nd;
+        tree.parent_arc[v] = a;
+        heap.push({nd, v});
+      }
+    }
+  }
+}
+
+/// Tail node of an arc (the node it leaves).
+NodeId arc_tail(const graph::Graph& g, std::uint32_t arc) {
+  const graph::Link& l = g.link(arc / 2);
+  return arc % 2 == 0 ? l.a : l.b;
+}
+
+}  // namespace
+
+McfResult max_concurrent_flow(const graph::Graph& g,
+                              const std::vector<Commodity>& commodities,
+                              const McfOptions& options) {
+  if (commodities.empty())
+    throw std::invalid_argument("max_concurrent_flow: no commodities");
+  for (const Commodity& c : commodities) {
+    if (c.src == c.dst) throw std::invalid_argument("max_concurrent_flow: src == dst");
+    if (c.demand <= 0.0)
+      throw std::invalid_argument("max_concurrent_flow: non-positive demand");
+  }
+  const double eps = options.epsilon;
+  if (eps <= 0.0 || eps >= 1.0)
+    throw std::invalid_argument("max_concurrent_flow: epsilon outside (0,1)");
+
+  DirectedNet net(g);
+  const std::size_t m = net.arc_count();
+  if (m == 0) throw std::invalid_argument("max_concurrent_flow: empty graph");
+
+  const double delta = std::pow(static_cast<double>(m) / (1.0 - eps), -1.0 / eps);
+  std::vector<double> length(m);
+  std::vector<double> flow(m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) length[a] = delta / net.cap[a];
+  double d_sum = delta * static_cast<double>(m);  // D(l) = sum length*cap
+
+  auto groups = group_by_source(commodities);
+  // Per-(group,target) routed totals for the primal bound.
+  std::vector<std::vector<double>> routed(groups.size());
+  for (std::size_t gi = 0; gi < groups.size(); ++gi)
+    routed[gi].assign(groups[gi].targets.size(), 0.0);
+
+  McfResult result;
+  Tree tree;
+  std::vector<std::uint32_t> path;  // arcs target<-...<-source (reverse order)
+
+  bool done = false;
+  while (!done && d_sum < 1.0 && result.phases < options.max_phases) {
+    for (std::size_t gi = 0; gi < groups.size() && !done; ++gi) {
+      const SourceGroup& grp = groups[gi];
+      dijkstra(net, grp.src, length, tree);
+      ++result.dijkstra_runs;
+      std::vector<double> dist_at_compute = tree.dist;
+
+      for (std::size_t ti = 0; ti < grp.targets.size() && !done; ++ti) {
+        auto [target, demand] = grp.targets[ti];
+        if (tree.dist[target] == kInf)
+          throw std::invalid_argument("max_concurrent_flow: commodity disconnected");
+        double need = demand;
+        while (need > 0.0 && !done) {
+          // Walk the tree path and re-price it under current lengths.
+          path.clear();
+          double cur_len = 0.0;
+          double bottleneck = kInf;
+          for (NodeId v = target; v != grp.src;) {
+            std::uint32_t a = tree.parent_arc[v];
+            path.push_back(a);
+            cur_len += length[a];
+            bottleneck = std::min(bottleneck, net.cap[a]);
+            v = arc_tail(g, a);
+          }
+          if (cur_len > (1.0 + eps) * dist_at_compute[target]) {
+            // Stale tree (Fleischer's rule): recompute and retry.
+            dijkstra(net, grp.src, length, tree);
+            ++result.dijkstra_runs;
+            dist_at_compute = tree.dist;
+            continue;
+          }
+          double f = std::min(need, bottleneck);
+          for (std::uint32_t a : path) {
+            double old_len = length[a];
+            flow[a] += f;
+            length[a] = old_len * (1.0 + eps * f / net.cap[a]);
+            d_sum += (length[a] - old_len) * net.cap[a];
+          }
+          routed[gi][ti] += f;
+          need -= f;
+          ++result.augmentations;
+          if (d_sum >= 1.0) done = true;
+        }
+      }
+    }
+    ++result.phases;
+  }
+
+  // Primal bound: rescale by worst congestion.
+  double congestion = 0.0;
+  for (std::size_t a = 0; a < m; ++a)
+    congestion = std::max(congestion, flow[a] / net.cap[a]);
+  result.max_congestion = congestion;
+  double min_ratio = kInf;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi)
+    for (std::size_t ti = 0; ti < groups[gi].targets.size(); ++ti)
+      min_ratio = std::min(min_ratio, routed[gi][ti] / groups[gi].targets[ti].second);
+  result.lambda_lower = congestion > 0.0 ? min_ratio / congestion : 0.0;
+
+  result.arc_flow = std::move(flow);
+  if (congestion > 0.0)
+    for (double& f : result.arc_flow) f /= congestion;
+
+  // Dual bound under the final lengths: lambda* <= D(l) / alpha(l).
+  result.lambda_upper = kInf;
+  if (options.compute_upper_bound) {
+    double alpha = 0.0;
+    for (const SourceGroup& grp : groups) {
+      dijkstra(net, grp.src, length, tree);
+      ++result.dijkstra_runs;
+      for (auto [target, demand] : grp.targets) alpha += demand * tree.dist[target];
+    }
+    if (alpha > 0.0) result.lambda_upper = d_sum / alpha;
+  }
+  return result;
+}
+
+}  // namespace flattree::mcf

@@ -1,0 +1,54 @@
+#pragma once
+// Maximum concurrent multicommodity flow via the Garg-Koenemann framework
+// with Fleischer's phase/path-reuse improvements.
+//
+// Links are full-duplex: each undirected link becomes two opposing arcs of
+// the full link capacity (the standard model in DCN throughput studies).
+// The solver returns
+//   * lambda_lower — a certified feasible value: the routed flow rescaled
+//     by the worst observed congestion (always a valid lower bound on the
+//     optimum, independent of epsilon), and
+//   * lambda_upper — an LP-duality bound D(l)/alpha(l) under the final
+//     length function (always a valid upper bound),
+// so every answer carries its own optimality certificate. For the FPTAS
+// guarantee lambda_lower >= (1-3eps) * optimum, but in practice the
+// reported gap is much tighter.
+//
+// Path reuse: within a phase the solver routes a whole source group along
+// one Dijkstra tree and re-walks path lengths incrementally, recomputing
+// the tree only when a path's current length exceeds (1+eps) times its
+// length at tree-computation time (Fleischer's rule).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mcf/commodity.hpp"
+
+namespace flattree::mcf {
+
+struct McfOptions {
+  double epsilon = 0.2;            ///< FPTAS accuracy knob
+  bool compute_upper_bound = true; ///< duality bound sweep at termination
+  std::uint64_t max_phases = 1u << 20;
+};
+
+struct McfResult {
+  double lambda_lower = 0.0;  ///< certified feasible concurrent-flow value
+  double lambda_upper = 0.0;  ///< duality upper bound (inf if not computed)
+  double max_congestion = 0.0;
+  std::uint64_t phases = 0;
+  std::uint64_t augmentations = 0;
+  std::uint64_t dijkstra_runs = 0;
+  /// Per-arc routed flow after rescaling (arc 2*l = link l a->b, 2*l+1 =
+  /// b->a); max_a flow/cap == 1 after rescaling unless no flow was routed.
+  std::vector<double> arc_flow;
+};
+
+/// Solves max concurrent flow for `commodities` over `g`. Throws
+/// std::invalid_argument on empty commodities or unreachable pairs.
+McfResult max_concurrent_flow(const graph::Graph& g,
+                              const std::vector<Commodity>& commodities,
+                              const McfOptions& options = {});
+
+}  // namespace flattree::mcf

@@ -1,0 +1,68 @@
+#include "mcf/lp_exact.hpp"
+
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+
+namespace flattree::mcf {
+
+ExactResult max_concurrent_flow_exact(const graph::Graph& g,
+                                      const std::vector<Commodity>& commodities,
+                                      std::size_t max_variables) {
+  if (commodities.empty())
+    throw std::invalid_argument("max_concurrent_flow_exact: no commodities");
+  const std::size_t links = g.link_count();
+  const std::size_t arcs = links * 2;  // arc 2l = a->b, 2l+1 = b->a
+  const std::size_t j_count = commodities.size();
+  const std::size_t lambda_var = j_count * arcs;
+  if (lambda_var + 1 > max_variables)
+    throw std::invalid_argument("max_concurrent_flow_exact: instance too large");
+
+  lp::LpProblem problem(lambda_var + 1);
+  problem.set_objective(lambda_var, 1.0);
+
+  auto var = [arcs](std::size_t j, std::size_t arc) { return j * arcs + arc; };
+
+  // Capacity: sum_j f[j][arc] <= cap(arc), per direction.
+  for (std::size_t l = 0; l < links; ++l) {
+    for (int dir = 0; dir < 2; ++dir) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      terms.reserve(j_count);
+      for (std::size_t j = 0; j < j_count; ++j) terms.emplace_back(var(j, 2 * l + dir), 1.0);
+      problem.add_row_sparse(terms, lp::RowType::Le, g.link(static_cast<graph::LinkId>(l)).capacity);
+    }
+  }
+
+  // Conservation: for each commodity and node != src: in - out = rhs,
+  // rhs = demand * lambda at dst (moved to LHS), 0 elsewhere. The source
+  // row is the negative sum of the others and is omitted.
+  for (std::size_t j = 0; j < j_count; ++j) {
+    const Commodity& c = commodities[j];
+    if (c.src == c.dst)
+      throw std::invalid_argument("max_concurrent_flow_exact: src == dst");
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == c.src) continue;
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (const graph::Arc& arc : g.neighbors(v)) {
+        const graph::Link& link = g.link(arc.link);
+        // arc 2l flows a->b, so it enters v when v == b.
+        std::size_t in_arc = v == link.b ? 2 * arc.link : 2 * arc.link + 1;
+        std::size_t out_arc = v == link.b ? 2 * arc.link + 1 : 2 * arc.link;
+        terms.emplace_back(var(j, in_arc), 1.0);
+        terms.emplace_back(var(j, out_arc), -1.0);
+      }
+      if (v == c.dst) terms.emplace_back(lambda_var, -c.demand);
+      problem.add_row_sparse(terms, lp::RowType::Eq, 0.0);
+    }
+  }
+
+  lp::LpOptions options;
+  options.max_iterations = 200'000;
+  lp::LpSolution sol = lp::solve(problem, options);
+  ExactResult result;
+  result.solved = sol.status == lp::LpStatus::Optimal;
+  result.lambda = result.solved ? sol.objective : 0.0;
+  return result;
+}
+
+}  // namespace flattree::mcf

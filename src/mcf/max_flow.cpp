@@ -1,0 +1,133 @@
+#include "mcf/max_flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace flattree::mcf {
+
+MaxFlow::MaxFlow(std::size_t nodes) : adjacency_(nodes) {}
+
+std::size_t MaxFlow::add_arc(NodeId u, NodeId v, double capacity) {
+  if (u >= adjacency_.size() || v >= adjacency_.size())
+    throw std::out_of_range("MaxFlow::add_arc: node out of range");
+  if (capacity < 0) throw std::invalid_argument("MaxFlow::add_arc: negative capacity");
+  adjacency_[u].push_back({v, capacity, adjacency_[v].size()});
+  adjacency_[v].push_back({u, 0.0, adjacency_[u].size() - 1});
+  arc_index_.emplace_back(u, adjacency_[u].size() - 1);
+  original_capacity_.push_back(capacity);
+  return arc_index_.size() - 1;
+}
+
+bool MaxFlow::bfs_levels(NodeId s, NodeId t) {
+  level_.assign(adjacency_.size(), -1);
+  std::vector<NodeId> queue{s};
+  level_[s] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    for (const Arc& arc : adjacency_[u]) {
+      if (arc.capacity > 1e-12 && level_[arc.to] < 0) {
+        level_[arc.to] = level_[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::push(NodeId u, NodeId t, double limit) {
+  if (u == t) return limit;
+  for (std::size_t& i = iter_[u]; i < adjacency_[u].size(); ++i) {
+    Arc& arc = adjacency_[u][i];
+    if (arc.capacity <= 1e-12 || level_[arc.to] != level_[u] + 1) continue;
+    double pushed = push(arc.to, t, std::min(limit, arc.capacity));
+    if (pushed > 0) {
+      arc.capacity -= pushed;
+      adjacency_[arc.to][arc.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(NodeId s, NodeId t) {
+  if (s == t) throw std::invalid_argument("MaxFlow::solve: s == t");
+  // Reset residuals to the original capacities.
+  for (std::size_t a = 0; a < arc_index_.size(); ++a) {
+    auto [u, slot] = arc_index_[a];
+    Arc& fwd = adjacency_[u][slot];
+    Arc& rev = adjacency_[fwd.to][fwd.rev];
+    fwd.capacity = original_capacity_[a];
+    rev.capacity = 0.0;
+  }
+  double total = 0.0;
+  while (bfs_levels(s, t)) {
+    iter_.assign(adjacency_.size(), 0);
+    while (true) {
+      double pushed = push(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::arc_flow(std::size_t arc) const {
+  auto [u, slot] = arc_index_.at(arc);
+  return original_capacity_[arc] - adjacency_[u][slot].capacity;
+}
+
+double single_source_concurrent_flow(
+    const graph::Graph& g, NodeId src,
+    const std::vector<std::pair<NodeId, double>>& targets, double tol) {
+  if (targets.empty())
+    throw std::invalid_argument("single_source_concurrent_flow: no targets");
+  double total_demand = 0.0;
+  auto dist = graph::bfs_distances(g, src);
+  for (auto [t, d] : targets) {
+    if (d <= 0)
+      throw std::invalid_argument("single_source_concurrent_flow: non-positive demand");
+    if (t == src)
+      throw std::invalid_argument("single_source_concurrent_flow: target == source");
+    if (dist[t] == graph::kUnreachable)
+      throw std::invalid_argument("single_source_concurrent_flow: target unreachable");
+    total_demand += d;
+  }
+
+  // Feasibility oracle: max-flow to a super-sink with lambda-scaled
+  // target arcs equals lambda * total_demand iff lambda is feasible.
+  const NodeId sink = static_cast<NodeId>(g.node_count());
+  auto feasible_flow = [&](double lambda) {
+    MaxFlow mf(g.node_count() + 1);
+    for (const auto& link : g.links()) {
+      mf.add_arc(link.a, link.b, link.capacity);
+      mf.add_arc(link.b, link.a, link.capacity);
+    }
+    for (auto [t, d] : targets) mf.add_arc(t, sink, lambda * d);
+    return mf.solve(src, sink);
+  };
+
+  // Upper bound: the source's out-capacity over the total demand.
+  double out_cap = 0.0;
+  for (const graph::Arc& arc : g.neighbors(src)) out_cap += g.link(arc.link).capacity;
+  double hi = out_cap / total_demand;
+  if (feasible_flow(hi) >= hi * total_demand * (1.0 - 1e-9)) return hi;
+  double lo = 0.0;
+  while (hi - lo > tol * std::max(hi, 1e-12)) {
+    double mid = 0.5 * (lo + hi);
+    if (feasible_flow(mid) >= mid * total_demand * (1.0 - 1e-9))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double single_source_concurrent_flow(const graph::Graph& g, const SourceGroup& group,
+                                     double tol) {
+  return single_source_concurrent_flow(g, group.src, group.targets, tol);
+}
+
+}  // namespace flattree::mcf

@@ -1,0 +1,27 @@
+#include "routing/ksp_routing.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace flattree::routing {
+
+KspRouting::KspRouting(const graph::Graph& g, std::size_t k, std::uint64_t salt)
+    : graph_(g), k_(k), salt_(salt) {}
+
+const std::vector<Path>& KspRouting::paths(NodeId src, NodeId dst) {
+  if (const auto* cached = db_.find(src, dst)) return *cached;
+  auto computed = graph::yen_ksp_hops(graph_, src, dst, k_);
+  if (computed.empty()) throw std::runtime_error("KspRouting: pair disconnected");
+  db_.set(src, dst, std::move(computed));
+  return *db_.find(src, dst);
+}
+
+const Path& KspRouting::select(NodeId src, NodeId dst, std::uint64_t flow_id) {
+  const auto& set = paths(src, dst);
+  std::uint64_t h = util::mix64(flow_id ^ salt_ ^
+                                ((static_cast<std::uint64_t>(src) << 32) | dst));
+  return set[h % set.size()];
+}
+
+}  // namespace flattree::routing

@@ -1,0 +1,23 @@
+#pragma once
+// k-shortest-paths routing, the paper's scheme for (approximated) random
+// graphs [Singla et al., NSDI'12 use k = 8].
+
+#include "routing/paths.hpp"
+
+namespace flattree::routing {
+
+class KspRouting : public Routing {
+ public:
+  explicit KspRouting(const graph::Graph& g, std::size_t k = 8, std::uint64_t salt = 0);
+
+  const Path& select(NodeId src, NodeId dst, std::uint64_t flow_id) override;
+  const std::vector<Path>& paths(NodeId src, NodeId dst) override;
+
+ private:
+  const graph::Graph& graph_;
+  std::size_t k_;
+  std::uint64_t salt_;
+  PathDb db_;
+};
+
+}  // namespace flattree::routing

@@ -1,0 +1,14 @@
+#include "routing/paths.hpp"
+
+namespace flattree::routing {
+
+const std::vector<Path>* PathDb::find(NodeId src, NodeId dst) const {
+  auto it = map_.find(key(src, dst));
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void PathDb::set(NodeId src, NodeId dst, std::vector<Path> paths) {
+  map_[key(src, dst)] = std::move(paths);
+}
+
+}  // namespace flattree::routing

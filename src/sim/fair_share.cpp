@@ -1,0 +1,82 @@
+#include "sim/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flattree::sim {
+
+std::vector<double> max_min_rates(const FairShareProblem& problem) {
+  const std::size_t flows = problem.flow_resources.size();
+  const std::size_t resources = problem.capacity.size();
+  for (double c : problem.capacity)
+    if (c <= 0.0) throw std::invalid_argument("max_min_rates: non-positive capacity");
+
+  // Deduplicated resource lists (a flow uses a resource once).
+  std::vector<std::vector<std::uint32_t>> uses(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    uses[f] = problem.flow_resources[f];
+    if (uses[f].empty())
+      throw std::invalid_argument("max_min_rates: flow with no resources");
+    std::sort(uses[f].begin(), uses[f].end());
+    uses[f].erase(std::unique(uses[f].begin(), uses[f].end()), uses[f].end());
+    for (std::uint32_t r : uses[f])
+      if (r >= resources) throw std::invalid_argument("max_min_rates: bad resource id");
+  }
+
+  std::vector<double> rate(flows, 0.0);
+  std::vector<char> frozen(flows, 0);
+  std::vector<double> used(resources, 0.0);
+  std::vector<std::uint32_t> active_count(resources, 0);
+  for (std::size_t f = 0; f < flows; ++f)
+    for (std::uint32_t r : uses[f]) ++active_count[r];
+
+  double level = 0.0;  // common rate of all still-active flows
+  std::size_t remaining = flows;
+  while (remaining > 0) {
+    // Smallest per-resource headroom per active flow.
+    double increment = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < resources; ++r) {
+      if (active_count[r] == 0) continue;
+      increment = std::min(increment,
+                           (problem.capacity[r] - used[r]) /
+                               static_cast<double>(active_count[r]));
+    }
+    if (!std::isfinite(increment))
+      throw std::logic_error("max_min_rates: active flow on no resource");
+    increment = std::max(increment, 0.0);
+    level += increment;
+    for (std::size_t r = 0; r < resources; ++r)
+      if (active_count[r] > 0)
+        used[r] += increment * static_cast<double>(active_count[r]);
+
+    // Freeze flows on saturated resources.
+    constexpr double kTol = 1e-12;
+    std::vector<char> saturated(resources, 0);
+    for (std::size_t r = 0; r < resources; ++r)
+      if (active_count[r] > 0 && problem.capacity[r] - used[r] <= kTol * problem.capacity[r])
+        saturated[r] = 1;
+    bool any = false;
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (frozen[f]) continue;
+      bool freeze = false;
+      for (std::uint32_t r : uses[f])
+        if (saturated[r]) {
+          freeze = true;
+          break;
+        }
+      if (!freeze) continue;
+      frozen[f] = 1;
+      rate[f] = level;
+      --remaining;
+      any = true;
+      for (std::uint32_t r : uses[f]) --active_count[r];
+    }
+    if (!any)
+      throw std::logic_error("max_min_rates: no progress (numerical stall)");
+  }
+  return rate;
+}
+
+}  // namespace flattree::sim

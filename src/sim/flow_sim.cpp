@@ -1,0 +1,132 @@
+#include "sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/fair_share.hpp"
+
+namespace flattree::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+FlowSimulator::FlowSimulator(const topo::Topology& topo, routing::Routing& routing,
+                             SimConfig config)
+    : topo_(topo), routing_(routing), config_(config) {}
+
+std::vector<FlowRecord> FlowSimulator::run(std::vector<SimFlow> flows) {
+  if (flows.empty()) throw std::invalid_argument("FlowSimulator::run: no flows");
+
+  // Resources: directed link arcs [0, 2L), then server NICs [2L, 2L + S).
+  const std::size_t links = topo_.link_count();
+  const std::size_t nic_base = 2 * links;
+  FairShareProblem base;
+  base.capacity.assign(nic_base + topo_.server_count(), 1.0);
+  for (std::size_t l = 0; l < links; ++l) {
+    double c = topo_.graph().link(static_cast<graph::LinkId>(l)).capacity;
+    base.capacity[2 * l] = c;
+    base.capacity[2 * l + 1] = c;
+  }
+  for (std::size_t s = 0; s < topo_.server_count(); ++s)
+    base.capacity[nic_base + s] = config_.nic_capacity;
+
+  struct Active {
+    std::size_t index;  ///< into the input vector
+    double remaining;
+    std::vector<std::uint32_t> resources;
+  };
+
+  // Per-flow resource sets (computed at admission, so routing sees the
+  // arrival order).
+  auto resources_of = [&](const SimFlow& f, std::uint32_t& hops) {
+    if (f.src == f.dst) throw std::invalid_argument("FlowSimulator: src == dst");
+    std::vector<std::uint32_t> out;
+    graph::NodeId a = topo_.host(f.src), b = topo_.host(f.dst);
+    if (a != b) {
+      const graph::Path& p = routing_.select(
+          a, b, (static_cast<std::uint64_t>(f.src) << 32) | f.dst);
+      hops = static_cast<std::uint32_t>(p.links.size());
+      for (std::size_t i = 0; i < p.links.size(); ++i) {
+        // Direction: arc 2l if traversed a->b of the link, else 2l+1.
+        const graph::Link& link = topo_.graph().link(p.links[i]);
+        bool forward = p.nodes[i] == link.a;
+        out.push_back(static_cast<std::uint32_t>(2 * p.links[i] + (forward ? 0 : 1)));
+      }
+    } else {
+      hops = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(nic_base + f.src));
+    out.push_back(static_cast<std::uint32_t>(nic_base + f.dst));
+    return out;
+  };
+
+  // Arrival order (stable on ties by input order).
+  std::vector<std::size_t> order(flows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return flows[x].arrival < flows[y].arrival;
+  });
+
+  std::vector<FlowRecord> records(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) records[i].flow = flows[i];
+
+  std::vector<Active> active;
+  std::vector<double> rates;
+  double now = flows[order.front()].arrival;
+  std::size_t next_arrival = 0;
+
+  auto recompute = [&]() {
+    if (active.empty()) {
+      rates.clear();
+      return;
+    }
+    FairShareProblem p;
+    p.capacity = base.capacity;
+    p.flow_resources.reserve(active.size());
+    for (const Active& a : active) p.flow_resources.push_back(a.resources);
+    rates = max_min_rates(p);
+  };
+
+  while (!active.empty() || next_arrival < order.size()) {
+    // Next completion under current rates.
+    double completion_at = kInf;
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (rates[i] > 0.0)
+        completion_at = std::min(completion_at, now + active[i].remaining / rates[i]);
+    double arrival_at =
+        next_arrival < order.size() ? flows[order[next_arrival]].arrival : kInf;
+    double t = std::min(completion_at, arrival_at);
+    if (t == kInf) throw std::logic_error("FlowSimulator: stalled (zero rates)");
+
+    // Advance transmission.
+    double dt = t - now;
+    for (std::size_t i = 0; i < active.size(); ++i) active[i].remaining -= rates[i] * dt;
+    now = t;
+
+    // Retire completed flows.
+    constexpr double kTol = 1e-9;
+    for (std::size_t i = active.size(); i-- > 0;) {
+      if (active[i].remaining <= kTol * records[active[i].index].flow.size) {
+        records[active[i].index].finish = now;
+        active.erase(active.begin() + static_cast<long>(i));
+      }
+    }
+    // Admit arrivals.
+    while (next_arrival < order.size() && flows[order[next_arrival]].arrival <= now) {
+      std::size_t idx = order[next_arrival++];
+      Active a;
+      a.index = idx;
+      a.remaining = flows[idx].size;
+      std::uint32_t hops = 0;
+      a.resources = resources_of(flows[idx], hops);
+      records[idx].hops = hops;
+      active.push_back(std::move(a));
+    }
+    recompute();
+  }
+  return records;
+}
+
+}  // namespace flattree::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Discrete-event packet-level simulator.
+//
+// Complements the fluid flow-level simulator (sim/flow_sim.hpp) with
+// queueing behavior: packets traverse the switch fabric hop by hop through
+// per-direction output queues, forwarded by a compiled FIB
+// (routing/fib.hpp) with per-flow hashing — store-and-forward with finite
+// buffers, so congestion shows up as queueing delay and tail drops rather
+// than a fair-share rate.
+//
+// Time units: a packet of size 1 takes 1/capacity time units to serialize
+// onto a link of that capacity; propagation delay is per hop and constant.
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/fib.hpp"
+#include "topo/topology.hpp"
+
+namespace flattree::sim {
+
+struct PacketSimConfig {
+  double packet_size = 1.0;       ///< serialization units per packet
+  double propagation_delay = 0.01;///< per-hop propagation latency
+  std::size_t queue_packets = 16; ///< per-output-queue capacity; 0 = infinite
+  double nic_rate = 1.0;          ///< server injection rate (packets/size units)
+};
+
+/// A packet train: `packets` packets injected back-to-back at the source
+/// NIC rate starting at `start`.
+struct PacketFlow {
+  topo::ServerId src = 0;
+  topo::ServerId dst = 0;
+  std::uint32_t packets = 1;
+  double start = 0.0;
+};
+
+struct PacketStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  double mean_delay = 0.0;  ///< injection-to-delivery, delivered packets
+  double max_delay = 0.0;
+  double p99_delay = 0.0;
+  double finish_time = 0.0; ///< when the last packet left the network
+
+  double loss_rate() const {
+    return injected ? static_cast<double>(dropped) / static_cast<double>(injected) : 0.0;
+  }
+};
+
+class PacketSimulator {
+ public:
+  /// `fib` must cover every (host(src), host(dst)) switch pair the flows
+  /// use (compile via routing::compile_fib). Both references must outlive
+  /// the simulator.
+  PacketSimulator(const topo::Topology& topo, const routing::Fib& fib,
+                  PacketSimConfig config = {});
+
+  /// Runs all flows to completion (or drop) and returns aggregate stats.
+  /// Deterministic for a given input ordering.
+  PacketStats run(const std::vector<PacketFlow>& flows);
+
+ private:
+  const topo::Topology& topo_;
+  const routing::Fib& fib_;
+  PacketSimConfig config_;
+};
+
+}  // namespace flattree::sim

@@ -1,0 +1,36 @@
+#include "topo/apl.hpp"
+
+namespace flattree::topo {
+
+graph::AplResult server_apl(const Topology& topo) {
+  return graph::weighted_apl(topo.graph(), topo.servers_per_switch(), /*offset=*/2,
+                             /*same_node_dist=*/2);
+}
+
+graph::AplResult server_apl_subset(const Topology& topo,
+                                   const std::vector<ServerId>& subset) {
+  std::vector<std::uint32_t> weight(topo.switch_count(), 0);
+  for (ServerId s : subset) ++weight[topo.host(s)];
+  return graph::weighted_apl(topo.graph(), weight, /*offset=*/2, /*same_node_dist=*/2);
+}
+
+graph::AplResult server_apl_grouped(const Topology& topo,
+                                    const std::vector<std::vector<ServerId>>& groups) {
+  long double total = 0.0L;
+  std::uint64_t pairs = 0;
+  std::uint32_t max_dist = 0;
+  for (const auto& group : groups) {
+    if (group.size() < 2) continue;
+    graph::AplResult r = server_apl_subset(topo, group);
+    total += static_cast<long double>(r.average) * static_cast<long double>(r.pairs);
+    pairs += r.pairs;
+    max_dist = std::max(max_dist, r.max_dist);
+  }
+  graph::AplResult out;
+  out.pairs = pairs;
+  out.max_dist = max_dist;
+  out.average = pairs ? static_cast<double>(total / static_cast<long double>(pairs)) : 0.0;
+  return out;
+}
+
+}  // namespace flattree::topo

@@ -1,0 +1,30 @@
+#pragma once
+// Server-pair average path length on a Topology (paper Figures 5 and 6).
+//
+// Server-to-server distance = switch-level hop distance between the host
+// switches + 2 attachment links (2 when the servers share a switch).
+// Converter switches are physical-layer and contribute no hops.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "topo/topology.hpp"
+
+namespace flattree::topo {
+
+/// APL over all unordered server pairs of the topology.
+graph::AplResult server_apl(const Topology& topo);
+
+/// APL over unordered pairs within the given server subset; paths may use
+/// the whole network (the paper's Figure 6 reading: pairs are *placed* in a
+/// pod, routing is unrestricted).
+graph::AplResult server_apl_subset(const Topology& topo,
+                                   const std::vector<ServerId>& subset);
+
+/// Combined APL over several disjoint groups (e.g. one group per pod):
+/// pair-weighted mean of per-group APLs.
+graph::AplResult server_apl_grouped(const Topology& topo,
+                                    const std::vector<std::vector<ServerId>>& groups);
+
+}  // namespace flattree::topo

@@ -1,0 +1,118 @@
+#include "topo/serialize.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace flattree::topo {
+
+namespace {
+
+const char* kMagic = "flattree-topology v1";
+
+SwitchKind parse_kind(const std::string& token, std::size_t line) {
+  if (token == "core") return SwitchKind::Core;
+  if (token == "aggregation") return SwitchKind::Aggregation;
+  if (token == "edge") return SwitchKind::Edge;
+  throw std::invalid_argument("deserialize: unknown switch kind '" + token + "' at line " +
+                              std::to_string(line));
+}
+
+LinkOrigin parse_origin(const std::string& token, std::size_t line) {
+  if (token == "clos-edge-agg") return LinkOrigin::ClosEdgeAgg;
+  if (token == "pod-core") return LinkOrigin::PodCore;
+  if (token == "converter-local") return LinkOrigin::ConverterLocal;
+  if (token == "inter-pod-side") return LinkOrigin::InterPodSide;
+  if (token == "random") return LinkOrigin::Random;
+  throw std::invalid_argument("deserialize: unknown link origin '" + token + "' at line " +
+                              std::to_string(line));
+}
+
+/// Reads one non-empty line or throws.
+std::string next_line(std::istringstream& in, std::size_t& line) {
+  std::string s;
+  while (std::getline(in, s)) {
+    ++line;
+    if (!s.empty()) return s;
+  }
+  throw std::invalid_argument("deserialize: unexpected end of input after line " +
+                              std::to_string(line));
+}
+
+std::size_t parse_section(const std::string& header, const char* name, std::size_t line) {
+  std::istringstream is(header);
+  std::string key;
+  std::size_t count = 0;
+  if (!(is >> key >> count) || key != name)
+    throw std::invalid_argument(std::string("deserialize: expected '") + name +
+                                " <count>' at line " + std::to_string(line));
+  return count;
+}
+
+}  // namespace
+
+std::string serialize(const Topology& topo) {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  os << "switches " << topo.switch_count() << '\n';
+  for (NodeId v = 0; v < topo.switch_count(); ++v) {
+    const SwitchInfo& info = topo.info(v);
+    os << to_string(info.kind) << ' ' << info.pod << ' ' << info.index << ' ' << info.ports
+       << '\n';
+  }
+  os << "links " << topo.link_count() << '\n';
+  for (graph::LinkId l = 0; l < topo.link_count(); ++l) {
+    const graph::Link& link = topo.graph().link(l);
+    os << link.a << ' ' << link.b << ' ' << link.capacity << ' '
+       << to_string(topo.link_info(l).origin) << '\n';
+  }
+  os << "servers " << topo.server_count() << '\n';
+  for (ServerId s = 0; s < topo.server_count(); ++s) os << topo.host(s) << '\n';
+  return os.str();
+}
+
+Topology deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::size_t line = 0;
+  if (next_line(in, line) != kMagic)
+    throw std::invalid_argument("deserialize: bad magic header (want '" +
+                                std::string(kMagic) + "')");
+
+  Topology topo;
+  std::size_t switches = parse_section(next_line(in, line), "switches", line);
+  for (std::size_t i = 0; i < switches; ++i) {
+    std::istringstream row(next_line(in, line));
+    std::string kind;
+    std::int32_t pod;
+    std::uint32_t index, ports;
+    if (!(row >> kind >> pod >> index >> ports))
+      throw std::invalid_argument("deserialize: malformed switch at line " +
+                                  std::to_string(line));
+    topo.add_switch(parse_kind(kind, line), pod, index, ports);
+  }
+
+  std::size_t links = parse_section(next_line(in, line), "links", line);
+  for (std::size_t i = 0; i < links; ++i) {
+    std::istringstream row(next_line(in, line));
+    std::uint32_t a, b;
+    double capacity;
+    std::string origin;
+    if (!(row >> a >> b >> capacity >> origin))
+      throw std::invalid_argument("deserialize: malformed link at line " +
+                                  std::to_string(line));
+    topo.add_link(a, b, parse_origin(origin, line), capacity);
+  }
+
+  std::size_t servers = parse_section(next_line(in, line), "servers", line);
+  for (std::size_t i = 0; i < servers; ++i) {
+    std::istringstream row(next_line(in, line));
+    std::uint32_t host;
+    if (!(row >> host))
+      throw std::invalid_argument("deserialize: malformed server at line " +
+                                  std::to_string(line));
+    topo.add_server(host);
+  }
+  return topo;
+}
+
+}  // namespace flattree::topo

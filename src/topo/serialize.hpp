@@ -1,0 +1,28 @@
+#pragma once
+// Plain-text topology serialization.
+//
+// A stable, diff-able format so experiments can snapshot materialized
+// topologies, compare conversions out-of-band, or feed external tools.
+//
+//   flattree-topology v1
+//   switches <count>
+//   <kind> <pod> <index> <ports>        # one per switch, id order
+//   links <count>
+//   <a> <b> <capacity> <origin>         # one per link, id order
+//   servers <count>
+//   <host>                              # one per server, id order
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace flattree::topo {
+
+/// Renders the topology in the v1 text format.
+std::string serialize(const Topology& topo);
+
+/// Parses the v1 text format. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+Topology deserialize(const std::string& text);
+
+}  // namespace flattree::topo

@@ -1,0 +1,129 @@
+#include "topo/two_stage.hpp"
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "topo/random_graph.hpp"
+
+namespace flattree::topo {
+
+namespace {
+
+Topology try_build(std::uint32_t k, util::Rng& rng) {
+  ClosParams p;
+  p.k = k;
+  const std::uint32_t per_pod_switches = p.d() + p.aggs_per_pod();  // = k
+  const std::uint32_t cores = p.cores();
+  const std::uint32_t pods = p.pods();
+
+  Topology topo;
+  for (std::uint32_t pod = 0; pod < pods; ++pod) {
+    for (std::uint32_t j = 0; j < p.d(); ++j)
+      topo.add_switch(SwitchKind::Edge, static_cast<std::int32_t>(pod), j, k);
+    for (std::uint32_t i = 0; i < p.aggs_per_pod(); ++i)
+      topo.add_switch(SwitchKind::Aggregation, static_cast<std::int32_t>(pod), i, k);
+  }
+  for (std::uint32_t c = 0; c < cores; ++c) topo.add_switch(SwitchKind::Core, -1, c, k);
+
+  auto pod_switch = [&](std::uint32_t pod, std::uint32_t s) -> NodeId {
+    return pod * per_pod_switches + s;
+  };
+  auto core_switch = [&](std::uint32_t c) -> NodeId { return pods * per_pod_switches + c; };
+
+  // Servers: uniform within each pod (round-robin over its k switches).
+  for (std::uint32_t pod = 0; pod < pods; ++pod)
+    for (std::uint32_t s = 0; s < p.servers_per_pod(); ++s)
+      topo.add_server(pod_switch(pod, s % per_pod_switches));
+
+  std::vector<std::uint32_t> free_ports(topo.switch_count());
+  auto servers = topo.servers_per_switch();
+  for (NodeId v = 0; v < topo.switch_count(); ++v) free_ports[v] = k - servers[v];
+
+  // Stage 1: intra-pod random graph with k^2/4 links (flat-tree's count).
+  const std::uint32_t intra_links = p.d() * p.aggs_per_pod();
+  for (std::uint32_t pod = 0; pod < pods; ++pod) {
+    // Random simple graph on k nodes with exactly `intra_links` links:
+    // give each node 2*intra_links/k stubs (k^2/4 links over k nodes ->
+    // k/2 stubs each, always integral for even k).
+    std::vector<std::uint32_t> stubs(per_pod_switches, 2 * intra_links / per_pod_switches);
+    auto pairs = random_simple_pairing(stubs, rng, 8);
+    for (auto [a, b] : pairs) {
+      NodeId u = pod_switch(pod, a), v = pod_switch(pod, b);
+      topo.add_link(u, v, LinkOrigin::Random);
+      --free_ports[u];
+      --free_ports[v];
+    }
+  }
+
+  // Stage 2: super-node random graph over pods + cores. Pods expose their
+  // leftover ports (k^2/4 each); cores expose k each. Multi-links between
+  // the same super pair are allowed; self-pairs are repaired by swapping.
+  std::vector<std::uint32_t> super_stubs(pods + cores);
+  for (std::uint32_t pod = 0; pod < pods; ++pod) {
+    std::uint32_t total = 0;
+    for (std::uint32_t s = 0; s < per_pod_switches; ++s)
+      total += free_ports[pod_switch(pod, s)];
+    super_stubs[pod] = total;
+  }
+  for (std::uint32_t c = 0; c < cores; ++c) super_stubs[pods + c] = k;
+
+  std::vector<std::uint32_t> pool;
+  for (std::uint32_t v = 0; v < super_stubs.size(); ++v)
+    for (std::uint32_t s = 0; s < super_stubs[v]; ++s) pool.push_back(v);
+  if (pool.size() % 2 != 0) pool.pop_back();
+  rng.shuffle(pool);
+  // Repair super-level self-pairs by swapping with random partners. A swap
+  // can break an earlier pair, so sweep repeatedly until clean.
+  bool clean = false;
+  for (int pass = 0; pass < 200 && !clean; ++pass) {
+    clean = true;
+    for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+      if (pool[i] != pool[i + 1]) continue;
+      clean = false;
+      std::size_t j = rng.index(pool.size());
+      std::swap(pool[i + 1], pool[j]);
+    }
+  }
+  if (!clean) throw std::runtime_error("two-stage: could not repair super self-pairs");
+
+  // Map super endpoints to concrete switches with free ports.
+  auto pick_switch = [&](std::uint32_t super) -> NodeId {
+    if (super >= pods) return core_switch(super - pods);
+    // Uniform among the pod's free ports (weight by free port count).
+    std::uint32_t total = 0;
+    for (std::uint32_t s = 0; s < per_pod_switches; ++s)
+      total += free_ports[pod_switch(super, s)];
+    if (total == 0) throw std::runtime_error("two-stage: pod out of free ports");
+    std::uint32_t pick = static_cast<std::uint32_t>(rng.below(total));
+    for (std::uint32_t s = 0; s < per_pod_switches; ++s) {
+      NodeId v = pod_switch(super, s);
+      if (pick < free_ports[v]) return v;
+      pick -= free_ports[v];
+    }
+    throw std::logic_error("two-stage: pick_switch fell through");
+  };
+
+  for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+    NodeId u = pick_switch(pool[i]);
+    NodeId v = pick_switch(pool[i + 1]);
+    topo.add_link(u, v, LinkOrigin::Random);
+    --free_ports[u];
+    --free_ports[v];
+  }
+  return topo;
+}
+
+}  // namespace
+
+Topology build_two_stage_random_graph(std::uint32_t k, util::Rng& rng,
+                                      std::uint32_t max_attempts) {
+  if (k < 4 || k % 2 != 0)
+    throw std::invalid_argument("build_two_stage_random_graph: k must be even and >= 4");
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Topology topo = try_build(k, rng);
+    if (graph::is_connected(topo.graph())) return topo;
+  }
+  throw std::runtime_error("build_two_stage_random_graph: failed to draw connected graph");
+}
+
+}  // namespace flattree::topo

@@ -1,0 +1,31 @@
+#pragma once
+// Two-stage random graph baseline (paper Section 3.1).
+//
+// "...two-stage random graph, which first forms random graphs in each Pod
+//  with the same number of links as flat-tree, and takes the Pods as super
+//  nodes to form another layer of random graph together with core switches."
+//
+// Stage 1: each pod's k switches form a random simple graph with the same
+// number of intra-pod links as flat-tree (k^2/4, the edge-aggregation mesh
+// size), and the pod's k^2/4 servers are spread uniformly over its switches.
+// Stage 2: pods become super nodes with their k^2/4 leftover ports; together
+// with the (k/2)^2 core switches (k ports each) they form a random graph.
+// Super-level self-loops are forbidden; parallel super-links map to distinct
+// switch pairs where possible. Every super-endpoint lands on a uniformly
+// random switch of the pod that still has free ports.
+
+#include <cstdint>
+
+#include "topo/fat_tree.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace flattree::topo {
+
+/// Builds the two-stage random graph with fat-tree(k) equipment.
+/// Switch ids use the fat-tree layout (pod edges, pod aggs, cores).
+/// Retries internally until connected; throws after `max_attempts`.
+Topology build_two_stage_random_graph(std::uint32_t k, util::Rng& rng,
+                                      std::uint32_t max_attempts = 64);
+
+}  // namespace flattree::topo

@@ -1,0 +1,146 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace flattree::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_int(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  flags_.push_back({name, Kind::Int, target, help, std::to_string(*target)});
+}
+
+void CliParser::add_double(const std::string& name, double* target, const std::string& help) {
+  std::ostringstream os;
+  os << *target;
+  flags_.push_back({name, Kind::Double, target, help, os.str()});
+}
+
+void CliParser::add_bool(const std::string& name, bool* target, const std::string& help) {
+  flags_.push_back({name, Kind::Bool, target, help, *target ? "true" : "false"});
+}
+
+void CliParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_.push_back({name, Kind::String, target, help, *target});
+}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  for (const auto& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool CliParser::assign(const Flag& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::Int: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') return false;
+      *static_cast<std::int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::Double: {
+      double v = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') return false;
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Kind::Bool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+    case Kind::String:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+  }
+  return false;
+}
+
+bool CliParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      exit_code_ = 0;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s", arg.c_str(),
+                   usage().c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = find(body);
+    if (flag == nullptr && !has_value && body.rfind("no-", 0) == 0) {
+      // `--no-name` form for booleans.
+      const Flag* base = find(body.substr(3));
+      if (base != nullptr && base->kind == Kind::Bool) {
+        *static_cast<bool*>(base->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", body.c_str(), usage().c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::Bool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '--%s' expects a value\n", body.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "invalid value '%s' for flag '--%s'\n", value.c_str(),
+                   body.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name;
+    switch (f.kind) {
+      case Kind::Int: os << " <int>"; break;
+      case Kind::Double: os << " <float>"; break;
+      case Kind::Bool: os << " | --no-" << f.name; break;
+      case Kind::String: os << " <string>"; break;
+    }
+    os << "\n      " << f.help << " (default: " << f.default_repr << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace flattree::util

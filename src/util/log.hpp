@@ -1,0 +1,22 @@
+#pragma once
+// Tiny leveled logger (stderr). Benches use Info for progress on long
+// solver runs; libraries log nothing above Debug by default.
+
+#include <string>
+
+namespace flattree::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace flattree::util

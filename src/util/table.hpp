@@ -1,0 +1,45 @@
+#pragma once
+// Aligned-table and CSV emission for bench output.
+//
+// Every bench prints a human-readable aligned table (what the paper's figure
+// shows as curves) followed by a machine-readable CSV block so results can
+// be re-plotted.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flattree::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with add/num.
+  void begin_row();
+  void add(const std::string& cell);
+  void num(double value, int precision = 4);
+  void integer(std::int64_t value);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  /// Cell accessor (row-major); throws on out-of-range.
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Renders the aligned, padded table.
+  std::string to_aligned() const;
+  /// Renders RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  std::string to_csv() const;
+
+  /// Prints aligned table and CSV block (the standard bench footer).
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact form.
+std::string format_double(double value, int precision = 4);
+
+}  // namespace flattree::util

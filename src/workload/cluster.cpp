@@ -1,0 +1,106 @@
+#include "workload/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree::workload {
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::Locality: return "locality";
+    case Placement::WeakLocality: return "weak-locality";
+    case Placement::NoLocality: return "no-locality";
+  }
+  return "?";
+}
+
+std::vector<Cluster> make_clusters_subset(const std::vector<ServerId>& eligible,
+                                          std::uint32_t size, Placement placement,
+                                          std::uint32_t servers_per_pod, util::Rng& rng) {
+  if (size == 0) throw std::invalid_argument("make_clusters: zero cluster size");
+  if (servers_per_pod == 0)
+    throw std::invalid_argument("make_clusters: zero servers per pod");
+  const std::size_t cluster_count = eligible.size() / size;
+  std::vector<Cluster> clusters;
+  clusters.reserve(cluster_count);
+
+  switch (placement) {
+    case Placement::Locality: {
+      for (std::size_t c = 0; c < cluster_count; ++c) {
+        Cluster cl;
+        cl.servers.assign(eligible.begin() + static_cast<long>(c * size),
+                          eligible.begin() + static_cast<long>((c + 1) * size));
+        clusters.push_back(std::move(cl));
+      }
+      break;
+    }
+    case Placement::NoLocality: {
+      std::vector<ServerId> pool = eligible;
+      rng.shuffle(pool);
+      for (std::size_t c = 0; c < cluster_count; ++c) {
+        Cluster cl;
+        cl.servers.assign(pool.begin() + static_cast<long>(c * size),
+                          pool.begin() + static_cast<long>((c + 1) * size));
+        std::sort(cl.servers.begin(), cl.servers.end());
+        clusters.push_back(std::move(cl));
+      }
+      break;
+    }
+    case Placement::WeakLocality: {
+      // Free servers per pod, shuffled within each pod.
+      std::vector<std::vector<ServerId>> pod_free;
+      for (ServerId s : eligible) {
+        std::size_t pod = s / servers_per_pod;
+        if (pod >= pod_free.size()) pod_free.resize(pod + 1);
+        pod_free[pod].push_back(s);
+      }
+      std::vector<std::size_t> pods_with_free;
+      for (std::size_t p = 0; p < pod_free.size(); ++p) {
+        rng.shuffle(pod_free[p]);
+        if (!pod_free[p].empty()) pods_with_free.push_back(p);
+      }
+      for (std::size_t c = 0; c < cluster_count; ++c) {
+        Cluster cl;
+        std::uint32_t need = size;
+        while (need > 0) {
+          if (pods_with_free.empty())
+            throw std::logic_error("make_clusters: ran out of servers");
+          // Prefer a random pod that can hold the whole remainder; fall
+          // back to any pod with free servers (the cluster then spills).
+          std::size_t pick_at = rng.index(pods_with_free.size());
+          for (std::size_t probe = 0; probe < pods_with_free.size(); ++probe) {
+            std::size_t idx = (pick_at + probe) % pods_with_free.size();
+            if (pod_free[pods_with_free[idx]].size() >= need) {
+              pick_at = idx;
+              break;
+            }
+          }
+          auto& free = pod_free[pods_with_free[pick_at]];
+          std::uint32_t take = static_cast<std::uint32_t>(
+              std::min<std::size_t>(need, free.size()));
+          for (std::uint32_t i = 0; i < take; ++i) {
+            cl.servers.push_back(free.back());
+            free.pop_back();
+          }
+          need -= take;
+          if (free.empty())
+            pods_with_free.erase(pods_with_free.begin() + static_cast<long>(pick_at));
+        }
+        std::sort(cl.servers.begin(), cl.servers.end());
+        clusters.push_back(std::move(cl));
+      }
+      break;
+    }
+  }
+  return clusters;
+}
+
+std::vector<Cluster> make_clusters(std::uint32_t total_servers, std::uint32_t size,
+                                   Placement placement, std::uint32_t servers_per_pod,
+                                   util::Rng& rng) {
+  std::vector<ServerId> all(total_servers);
+  for (std::uint32_t s = 0; s < total_servers; ++s) all[s] = s;
+  return make_clusters_subset(all, size, placement, servers_per_pod, rng);
+}
+
+}  // namespace flattree::workload

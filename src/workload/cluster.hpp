@@ -1,0 +1,51 @@
+#pragma once
+// Service clusters and their placement (paper Section 3.1/3.3).
+//
+// Measurement studies cited by the paper find two pervasive patterns:
+// broadcast/incast between a hot-spot server and a large cluster
+// (simulated as 1000-server clusters), and all-to-all within small
+// clusters (20 servers). Each server joins exactly one cluster; leftover
+// servers (total % size) stay idle.
+//
+// Placement policies:
+//   Locality     clusters packed over consecutive server ids (fat-tree id
+//                order = physical adjacency)
+//   WeakLocality clusters packed randomly within pods while free servers
+//                remain — the paper's worst-case model of resource
+//                fragmentation (a cluster spills to another random pod only
+//                when its pod runs out)
+//   NoLocality   servers drawn uniformly from the whole network
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace flattree::workload {
+
+using topo::ServerId;
+
+struct Cluster {
+  std::vector<ServerId> servers;
+};
+
+enum class Placement : std::uint8_t { Locality, WeakLocality, NoLocality };
+
+const char* to_string(Placement placement);
+
+/// Partitions servers [0, total_servers) into floor(total/size) clusters of
+/// exactly `size` servers under the given placement. `servers_per_pod`
+/// defines pod boundaries for WeakLocality (use the builder's layout).
+std::vector<Cluster> make_clusters(std::uint32_t total_servers, std::uint32_t size,
+                                   Placement placement, std::uint32_t servers_per_pod,
+                                   util::Rng& rng);
+
+/// Restriction of make_clusters to an arbitrary server subset (hybrid-mode
+/// zones): only `eligible` servers are clustered; WeakLocality pods are
+/// still derived from `servers_per_pod`.
+std::vector<Cluster> make_clusters_subset(const std::vector<ServerId>& eligible,
+                                          std::uint32_t size, Placement placement,
+                                          std::uint32_t servers_per_pod, util::Rng& rng);
+
+}  // namespace flattree::workload

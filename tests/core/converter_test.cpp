@@ -1,0 +1,84 @@
+#include "core/converter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::core {
+namespace {
+
+Converter four_port() {
+  Converter c;
+  c.type = ConverterType::FourPort;
+  return c;
+}
+
+Converter six_port(std::uint32_t peer = kNoPeer) {
+  Converter c;
+  c.type = ConverterType::SixPort;
+  c.peer = peer;
+  return c;
+}
+
+TEST(ConverterConfig, FourPortAllowsDefaultAndLocalOnly) {
+  Converter c = four_port();
+  EXPECT_TRUE(config_valid(c, ConverterConfig::Default));
+  EXPECT_TRUE(config_valid(c, ConverterConfig::Local));
+  EXPECT_FALSE(config_valid(c, ConverterConfig::Side));
+  EXPECT_FALSE(config_valid(c, ConverterConfig::Cross));
+}
+
+TEST(ConverterConfig, UnpairedSixPortCannotSideOrCross) {
+  Converter c = six_port();
+  EXPECT_TRUE(config_valid(c, ConverterConfig::Default));
+  EXPECT_TRUE(config_valid(c, ConverterConfig::Local));
+  EXPECT_FALSE(config_valid(c, ConverterConfig::Side));
+  EXPECT_FALSE(config_valid(c, ConverterConfig::Cross));
+}
+
+TEST(ConverterConfig, PairedSixPortAllowsAll) {
+  Converter c = six_port(1);
+  EXPECT_TRUE(config_valid(c, ConverterConfig::Side));
+  EXPECT_TRUE(config_valid(c, ConverterConfig::Cross));
+}
+
+TEST(ValidateAssignment, AcceptsConsistentPair) {
+  std::vector<Converter> cs{six_port(1), six_port(0)};
+  cs[1].pair_canonical = true;
+  std::vector<ConverterConfig> cfg{ConverterConfig::Side, ConverterConfig::Side};
+  EXPECT_EQ(validate_assignment(cs, cfg), "");
+  cfg = {ConverterConfig::Cross, ConverterConfig::Cross};
+  EXPECT_EQ(validate_assignment(cs, cfg), "");
+  cfg = {ConverterConfig::Default, ConverterConfig::Local};
+  EXPECT_EQ(validate_assignment(cs, cfg), "");  // both standalone is fine
+}
+
+TEST(ValidateAssignment, RejectsMismatchedPair) {
+  std::vector<Converter> cs{six_port(1), six_port(0)};
+  std::vector<ConverterConfig> cfg{ConverterConfig::Side, ConverterConfig::Cross};
+  EXPECT_NE(validate_assignment(cs, cfg), "");
+  cfg = {ConverterConfig::Side, ConverterConfig::Default};
+  EXPECT_NE(validate_assignment(cs, cfg), "");
+}
+
+TEST(ValidateAssignment, RejectsInvalidSingleConfig) {
+  std::vector<Converter> cs{four_port()};
+  std::vector<ConverterConfig> cfg{ConverterConfig::Side};
+  EXPECT_NE(validate_assignment(cs, cfg), "");
+}
+
+TEST(ValidateAssignment, RejectsSizeMismatch) {
+  std::vector<Converter> cs{four_port()};
+  std::vector<ConverterConfig> cfg;
+  EXPECT_NE(validate_assignment(cs, cfg), "");
+}
+
+TEST(ConverterToString, Coverage) {
+  EXPECT_STREQ(to_string(ConverterType::FourPort), "4-port");
+  EXPECT_STREQ(to_string(ConverterType::SixPort), "6-port");
+  EXPECT_STREQ(to_string(ConverterConfig::Default), "default");
+  EXPECT_STREQ(to_string(ConverterConfig::Local), "local");
+  EXPECT_STREQ(to_string(ConverterConfig::Side), "side");
+  EXPECT_STREQ(to_string(ConverterConfig::Cross), "cross");
+}
+
+}  // namespace
+}  // namespace flattree::core

@@ -1,0 +1,81 @@
+#include "core/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/apl.hpp"
+
+namespace flattree::core {
+namespace {
+
+/// Expandable layout: 6 pods live, cores sized for 10.
+topo::ClosParams expandable() {
+  return topo::ClosParams::make_generic(/*pods=*/6, /*d=*/4, /*r=*/2, /*h=*/4,
+                                        /*servers_per_edge=*/4, /*edge_ports=*/6,
+                                        /*agg_ports=*/8, /*core_ports=*/10);
+}
+
+TEST(Expansion, PlanItemizesPhysicalWork) {
+  ExpansionPlan plan = plan_expansion(expandable(), 2);
+  EXPECT_EQ(plan.pods_added, 2u);
+  EXPECT_EQ(plan.after.pods(), 8u);
+  EXPECT_EQ(plan.new_switches, 2u * 6u);       // 4 edges + 2 aggs per pod
+  EXPECT_EQ(plan.new_servers, 2u * 16u);
+  EXPECT_EQ(plan.new_core_links, 2u * 4u * 2u);  // d * h/r per pod
+  EXPECT_EQ(plan.side_bundles_spliced, 3u);      // ring seam + 2 pods
+}
+
+TEST(Expansion, LinearChainSplicesOneLess) {
+  ExpansionPlan plan = plan_expansion(expandable(), 2, PodChain::Linear);
+  EXPECT_EQ(plan.side_bundles_spliced, 2u);
+}
+
+TEST(Expansion, RejectsWhenCoresFull) {
+  // Fat-tree cores are exactly full: no expansion headroom.
+  EXPECT_THROW(plan_expansion(topo::ClosParams::fat_tree(8), 1), std::invalid_argument);
+  // Generic layout at capacity.
+  auto full = topo::ClosParams::make_generic(10, 4, 2, 4, 4, 6, 8, 10);
+  EXPECT_THROW(plan_expansion(full, 1), std::invalid_argument);
+  EXPECT_THROW(plan_expansion(expandable(), 0), std::invalid_argument);
+  EXPECT_THROW(plan_expansion(expandable(), 5), std::invalid_argument);  // 6+5 > 10
+}
+
+TEST(Expansion, ExpandedNetworkBuildsAllModes) {
+  FlatTreeNetwork base(expandable(), 1, 1);
+  ExpansionPlan plan = plan_expansion(expandable(), 2);
+  FlatTreeNetwork bigger = expand(base, plan);
+  EXPECT_EQ(bigger.params().pods(), 8u);
+  EXPECT_EQ(bigger.config().m, base.config().m);
+  for (Mode mode : {Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom}) {
+    topo::Topology t = bigger.build(mode);
+    EXPECT_EQ(t.server_count(), 8u * 16u) << to_string(mode);
+  }
+}
+
+TEST(Expansion, ExistingServersKeepIdsAndGrowthAppends) {
+  FlatTreeNetwork base(expandable(), 1, 1);
+  ExpansionPlan plan = plan_expansion(expandable(), 1);
+  FlatTreeNetwork bigger = expand(base, plan);
+  topo::Topology small = base.build(Mode::Clos);
+  topo::Topology large = bigger.build(Mode::Clos);
+  // Per-pod switch blocks shift (cores renumber), but the server-id layout
+  // within existing pods is append-only.
+  for (std::uint32_t pod = 0; pod < 6; ++pod)
+    for (std::uint32_t j = 0; j < 4; ++j)
+      for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(bigger.server(pod, j, s), base.server(pod, j, s));
+  EXPECT_GT(large.server_count(), small.server_count());
+}
+
+TEST(Expansion, MoreCapacityHelpsGlobalMode) {
+  FlatTreeNetwork base(expandable(), 1, 1);
+  ExpansionPlan plan = plan_expansion(expandable(), 4);
+  FlatTreeNetwork bigger = expand(base, plan);
+  // Expanded network stays a well-formed approximated random graph.
+  auto apl_small = topo::server_apl(base.build(Mode::GlobalRandom));
+  auto apl_large = topo::server_apl(bigger.build(Mode::GlobalRandom));
+  EXPECT_GT(apl_large.pairs, apl_small.pairs);
+  EXPECT_LT(apl_large.average, 7.0);
+}
+
+}  // namespace
+}  // namespace flattree::core

@@ -1,0 +1,116 @@
+// Flat-tree conversion of generic (oversubscribed) Clos layouts — the
+// networks the paper says flat-tree especially targets (Section 1/3.1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/flat_tree.hpp"
+#include "topo/apl.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace flattree::core {
+namespace {
+
+topo::ClosParams oversubscribed() {
+  return topo::ClosParams::make_generic(/*pods=*/6, /*d=*/4, /*r=*/2, /*h=*/4,
+                                        /*servers_per_edge=*/6, /*edge_ports=*/8,
+                                        /*agg_ports=*/8, /*core_ports=*/6);
+}
+
+using LinkKey = std::pair<topo::NodeId, topo::NodeId>;
+std::map<LinkKey, std::size_t> link_multiset(const topo::Topology& t) {
+  std::map<LinkKey, std::size_t> out;
+  for (const auto& l : t.graph().links())
+    ++out[{std::min(l.a, l.b), std::max(l.a, l.b)}];
+  return out;
+}
+
+TEST(GenericFlatTree, ProfiledDefaultsScaleWithGroup) {
+  // group = h/r = 2 -> m = round(0.5) = 1, n = round(1) = 1.
+  FlatTreeNetwork net(oversubscribed(), FlatTreeConfig::kProfiled,
+                      FlatTreeConfig::kProfiled);
+  EXPECT_EQ(net.config().m, 1u);
+  EXPECT_EQ(net.config().n, 1u);
+}
+
+TEST(GenericFlatTree, ConverterAttachmentsRespectR) {
+  FlatTreeNetwork net(oversubscribed(), 1, 1);
+  // r = 2: edges 0,1 pair with aggregation 0; edges 2,3 with aggregation 1.
+  for (const Converter& c : net.converters()) {
+    EXPECT_EQ(c.agg, net.agg_switch(c.pod, c.col / 2));
+    // Core connector inside edge j's group of h/r = 2 cores.
+    std::uint32_t core_index = c.core - net.core_switch(0);
+    EXPECT_GE(core_index, c.col * 2);
+    EXPECT_LT(core_index, (c.col + 1) * 2);
+  }
+}
+
+TEST(GenericFlatTree, ClosModeEqualsBuildClos) {
+  FlatTreeNetwork net(oversubscribed(), 1, 1);
+  topo::Topology clos = net.build(Mode::Clos);
+  topo::FatTree reference = topo::build_clos(oversubscribed());
+  EXPECT_EQ(link_multiset(clos), link_multiset(reference.topo));
+  ASSERT_EQ(clos.server_count(), reference.topo.server_count());
+  for (topo::ServerId s = 0; s < clos.server_count(); ++s)
+    EXPECT_EQ(clos.host(s), reference.topo.host(s));
+}
+
+TEST(GenericFlatTree, AllModesValidateWithinPortBudgets) {
+  FlatTreeNetwork net(oversubscribed(), 1, 1);
+  for (Mode mode : {Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom}) {
+    topo::Topology t = net.build(mode);  // materialize() validates
+    EXPECT_EQ(t.server_count(), 144u) << to_string(mode);
+    EXPECT_EQ(t.link_count(), 96u) << to_string(mode);
+  }
+}
+
+TEST(GenericFlatTree, GlobalModeRelocatesServers) {
+  FlatTreeNetwork net(oversubscribed(), 1, 1);
+  topo::Topology t = net.build(Mode::GlobalRandom);
+  std::size_t on_edge = 0, on_agg = 0, on_core = 0;
+  for (topo::ServerId s = 0; s < t.server_count(); ++s) {
+    switch (t.info(t.host(s)).kind) {
+      case topo::SwitchKind::Edge: ++on_edge; break;
+      case topo::SwitchKind::Aggregation: ++on_agg; break;
+      case topo::SwitchKind::Core: ++on_core; break;
+    }
+  }
+  // 24 (edge, agg) pairs, m = n = 1, even d and ring chain: one server per
+  // pair to the aggregation layer and one to the cores.
+  EXPECT_EQ(on_agg, 24u);
+  EXPECT_EQ(on_core, 24u);
+  EXPECT_EQ(on_edge, 144u - 48u);
+}
+
+TEST(GenericFlatTree, ConversionShortensOversubscribedPaths) {
+  FlatTreeNetwork net(oversubscribed(), 1, 1);
+  double clos_apl = topo::server_apl(net.build(Mode::Clos)).average;
+  double grg_apl = topo::server_apl(net.build(Mode::GlobalRandom)).average;
+  EXPECT_LT(grg_apl, clos_apl);
+}
+
+TEST(GenericFlatTree, RejectsOverfullConverterCounts) {
+  // group = h/r = 2, so m + n <= 2.
+  EXPECT_THROW(FlatTreeNetwork(oversubscribed(), 2, 1), std::invalid_argument);
+}
+
+TEST(GenericFlatTree, HybridZonesWork) {
+  FlatTreeNetwork net(oversubscribed(), 1, 1);
+  std::vector<Mode> modes(6, Mode::LocalRandom);
+  modes[0] = modes[1] = modes[2] = Mode::GlobalRandom;
+  EXPECT_NO_THROW(net.build(modes));
+}
+
+TEST(GenericFlatTree, SquatLayoutWithManyPods) {
+  // Wide low-radix layout: 8 pods, 2 edges/pod, r = 1, h = 2,
+  // 4 servers/edge (2:1 oversubscribed), 8-port cores.
+  auto params = topo::ClosParams::make_generic(8, 2, 1, 2, 4, 8, 8, 8);
+  FlatTreeNetwork net(params, 1, 1);
+  for (Mode mode : {Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom})
+    EXPECT_NO_THROW(net.build(mode)) << to_string(mode);
+  EXPECT_DOUBLE_EQ(params.oversubscription(), 2.0);
+}
+
+}  // namespace
+}  // namespace flattree::core

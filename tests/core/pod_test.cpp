@@ -1,0 +1,86 @@
+#include "core/pod.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::core {
+namespace {
+
+topo::ClosParams params(std::uint32_t k) {
+  topo::ClosParams p;
+  p.k = k;
+  return p;
+}
+
+TEST(PodLayout, Geometry) {
+  PodLayout l(params(8), /*m=*/1, /*n=*/2);
+  EXPECT_EQ(l.d, 4u);
+  EXPECT_EQ(l.left_width(), 2u);
+  EXPECT_EQ(l.right_width(), 2u);
+  EXPECT_TRUE(l.on_left(0));
+  EXPECT_TRUE(l.on_left(1));
+  EXPECT_FALSE(l.on_left(2));
+  EXPECT_EQ(l.converters_per_pod(), 12u);  // d*(m+n) = 4*3
+}
+
+TEST(PodLayout, OddDSplitsUnevenly) {
+  PodLayout l(params(6), 1, 1);
+  EXPECT_EQ(l.d, 3u);
+  EXPECT_EQ(l.left_width(), 1u);
+  EXPECT_EQ(l.right_width(), 2u);
+}
+
+TEST(PodLayout, SlotRoundTrip) {
+  PodLayout l(params(8), 2, 2);
+  for (std::uint32_t slot = 0; slot < l.converters_per_pod(); ++slot) {
+    auto info = l.slot_info(slot);
+    std::uint32_t back = info.blade_b ? l.blade_b_slot(info.row, info.col)
+                                      : l.blade_a_slot(info.row, info.col);
+    EXPECT_EQ(back, slot);
+  }
+}
+
+TEST(PodLayout, BladeAOccupiesLowSlots) {
+  PodLayout l(params(8), 1, 2);
+  EXPECT_FALSE(l.slot_info(0).blade_b);
+  EXPECT_FALSE(l.slot_info(l.n * l.d - 1).blade_b);
+  EXPECT_TRUE(l.slot_info(l.n * l.d).blade_b);
+}
+
+TEST(PodLayout, TappedServerConvention) {
+  PodLayout l(params(8), 2, 2);  // n=2 blade A rows tap servers 0..1
+  PodLayout::SlotInfo a0 = l.slot_info(l.blade_a_slot(0, 3));
+  PodLayout::SlotInfo a1 = l.slot_info(l.blade_a_slot(1, 3));
+  PodLayout::SlotInfo b0 = l.slot_info(l.blade_b_slot(0, 3));
+  PodLayout::SlotInfo b1 = l.slot_info(l.blade_b_slot(1, 3));
+  EXPECT_EQ(l.tapped_server(a0), 0u);
+  EXPECT_EQ(l.tapped_server(a1), 1u);
+  EXPECT_EQ(l.tapped_server(b0), 2u);  // n + row
+  EXPECT_EQ(l.tapped_server(b1), 3u);
+}
+
+TEST(PodLayout, AggPairing) {
+  PodLayout l(params(8), 1, 1);
+  for (std::uint32_t col = 0; col < l.d; ++col)
+    EXPECT_EQ(l.agg_of(col), col);  // r = 1 pairs E_j with A_j
+}
+
+TEST(PodLayout, OutOfRangeSlots) {
+  PodLayout l(params(8), 1, 1);
+  EXPECT_THROW(l.blade_a_slot(1, 0), std::out_of_range);   // only n=1 rows
+  EXPECT_THROW(l.blade_b_slot(0, 4), std::out_of_range);   // only d=4 cols
+  EXPECT_THROW(l.slot_info(l.converters_per_pod()), std::out_of_range);
+}
+
+TEST(PodLayout, RejectsTooManyConverters) {
+  // m + n > h/r = k/2.
+  EXPECT_THROW(PodLayout(params(8), 3, 2), std::invalid_argument);
+  EXPECT_NO_THROW(PodLayout(params(8), 2, 2));
+}
+
+TEST(PodLayout, ZeroConvertersAllowed) {
+  PodLayout l(params(8), 0, 0);
+  EXPECT_EQ(l.converters_per_pod(), 0u);
+}
+
+}  // namespace
+}  // namespace flattree::core

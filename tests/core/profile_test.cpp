@@ -1,0 +1,73 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/apl.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace flattree::core {
+namespace {
+
+TEST(ProfileMn, SweepRespectsConstraints) {
+  ProfileResult r = profile_mn(8);
+  EXPECT_FALSE(r.points.empty());
+  for (const ProfilePoint& p : r.points) {
+    EXPECT_GE(p.m, 1u);
+    EXPECT_GE(p.n, 1u);
+    EXPECT_LE(p.m + p.n, 4u);  // k/2
+    EXPECT_GT(p.apl, 0.0);
+  }
+}
+
+TEST(ProfileMn, BestPointIsMinimal) {
+  ProfileResult r = profile_mn(8);
+  for (const ProfilePoint& p : r.points) EXPECT_LE(r.best_apl, p.apl);
+  bool found = false;
+  for (const ProfilePoint& p : r.points)
+    if (p.m == r.best_m && p.n == r.best_n) {
+      found = true;
+      EXPECT_DOUBLE_EQ(p.apl, r.best_apl);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfileMn, PaperStepIsKOver8) {
+  // k=16 -> step 2: all m, n are multiples of 2.
+  ProfileResult r = profile_mn(16);
+  for (const ProfilePoint& p : r.points) {
+    EXPECT_EQ(p.m % 2, 0u);
+    EXPECT_EQ(p.n % 2, 0u);
+  }
+  // Sweep m,n in {2,4,6} with m+n <= 8: (2,2)(2,4)(2,6)(4,2)(4,4)(6,2).
+  EXPECT_EQ(r.points.size(), 6u);
+}
+
+TEST(ProfileMn, CustomStep) {
+  ProfileResult r = profile_mn(8, WiringPattern::Auto, PodChain::Ring, /*step=*/2);
+  // m,n in {2} with m+n <= 4: just (2,2).
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_EQ(r.points[0].m, 2u);
+  EXPECT_EQ(r.points[0].n, 2u);
+}
+
+TEST(ProfileMn, ProfiledAplBeatsFatTree) {
+  ProfileResult r = profile_mn(8);
+  topo::FatTree ft = topo::build_fat_tree(8);
+  EXPECT_LT(r.best_apl, topo::server_apl(ft.topo).average);
+}
+
+TEST(ProfileMn, AplValuesMatchDirectConstruction) {
+  ProfileResult r = profile_mn(8);
+  for (const ProfilePoint& p : r.points) {
+    FlatTreeConfig cfg;
+    cfg.k = 8;
+    cfg.m = p.m;
+    cfg.n = p.n;
+    FlatTreeNetwork net(cfg);
+    double apl = topo::server_apl(net.build(Mode::GlobalRandom)).average;
+    EXPECT_DOUBLE_EQ(apl, p.apl);
+  }
+}
+
+}  // namespace
+}  // namespace flattree::core

@@ -1,0 +1,180 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+
+namespace flattree::core {
+namespace {
+
+FlatTreeNetwork make_net(std::uint32_t k = 8) {
+  FlatTreeConfig cfg;
+  cfg.k = k;
+  return FlatTreeNetwork(cfg);
+}
+
+TEST(FailureSet, Contains) {
+  FailureSet f;
+  f.failed_switches = {3, 7};
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_TRUE(f.contains(7));
+  EXPECT_FALSE(f.contains(4));
+}
+
+TEST(ApplyFailures, RemovesIncidentLinks) {
+  FlatTreeNetwork net = make_net();
+  topo::Topology t = net.build(Mode::Clos);
+  NodeId core0 = net.core_switch(0);
+  FailureSet f;
+  f.failed_switches = {core0};
+  DegradedTopology d = apply_failures(t, f);
+  EXPECT_EQ(d.failed_links, net.config().k);  // one link per pod
+  EXPECT_EQ(d.topo.link_count(), t.link_count() - net.config().k);
+  EXPECT_EQ(d.topo.graph().degree(core0), 0u);
+  EXPECT_TRUE(d.stranded_servers.empty());  // Clos keeps servers on edges
+}
+
+TEST(ApplyFailures, StrandsServersOnFailedHosts) {
+  FlatTreeNetwork net = make_net();
+  topo::Topology t = net.build(Mode::GlobalRandom);
+  // Find a core hosting servers (side/cross relocations).
+  NodeId victim = graph::kInvalidNode;
+  auto weights = t.servers_per_switch();
+  for (NodeId v = 0; v < t.switch_count(); ++v) {
+    if (t.info(v).kind == topo::SwitchKind::Core && weights[v] > 0) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, graph::kInvalidNode);
+  FailureSet f;
+  f.failed_switches = {victim};
+  DegradedTopology d = apply_failures(t, f);
+  EXPECT_EQ(d.stranded_servers.size(), weights[victim]);
+}
+
+TEST(ApplyFailures, PreservesIdsAndOtherServers) {
+  FlatTreeNetwork net = make_net();
+  topo::Topology t = net.build(Mode::Clos);
+  FailureSet f;
+  f.failed_switches = {net.agg_switch(0, 0)};
+  DegradedTopology d = apply_failures(t, f);
+  ASSERT_EQ(d.topo.switch_count(), t.switch_count());
+  ASSERT_EQ(d.topo.server_count(), t.server_count());
+  for (topo::ServerId s = 0; s < t.server_count(); ++s)
+    EXPECT_EQ(d.topo.host(s), t.host(s));
+}
+
+TEST(PlanRecovery, RescuesServersFromFailedCore) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  topo::Topology t = net.materialize(configs);
+  // Fail every core that hosts servers in one group.
+  auto weights = t.servers_per_switch();
+  FailureSet f;
+  for (NodeId v = 0; v < t.switch_count(); ++v)
+    if (t.info(v).kind == topo::SwitchKind::Core && weights[v] > 0) {
+      f.failed_switches.push_back(v);
+      if (f.failed_switches.size() == 3) break;
+    }
+  ASSERT_FALSE(f.failed_switches.empty());
+  std::size_t before = stranded_server_count(net, configs, f);
+  EXPECT_GT(before, 0u);
+
+  auto recovered = plan_recovery(net, configs, f);
+  EXPECT_EQ(validate_assignment(net.converters(), recovered), "");
+  EXPECT_EQ(stranded_server_count(net, recovered, f), 0u);
+}
+
+TEST(PlanRecovery, RescuesServersFromFailedEdge) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::Clos);
+  FailureSet f;
+  f.failed_switches = {net.edge_switch(0, 0)};
+  std::size_t before = stranded_server_count(net, configs, f);
+  EXPECT_EQ(before, net.params().servers_per_edge());
+
+  auto recovered = plan_recovery(net, configs, f);
+  // The m + n tapped servers move to the aggregation switch; the rest are
+  // hard-wired to the failed edge switch and cannot be saved.
+  std::size_t after = stranded_server_count(net, recovered, f);
+  EXPECT_EQ(after, net.params().servers_per_edge() - net.config().m - net.config().n);
+}
+
+TEST(PlanRecovery, UntouchedWhenNoRelevantFailure) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  FailureSet f;
+  // Fail a core with no servers under the current configuration.
+  topo::Topology t = net.materialize(configs);
+  auto weights = t.servers_per_switch();
+  for (NodeId v = 0; v < t.switch_count(); ++v)
+    if (t.info(v).kind == topo::SwitchKind::Core && weights[v] == 0) {
+      f.failed_switches.push_back(v);
+      break;
+    }
+  if (f.failed_switches.empty()) GTEST_SKIP() << "all cores host servers";
+  auto recovered = plan_recovery(net, configs, f);
+  EXPECT_EQ(recovered, configs);
+}
+
+TEST(PlanRecovery, PairFlippedJointly) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  // Pick any side-configured converter and fail its core.
+  std::uint32_t idx = ~0u;
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (configs[i] == ConverterConfig::Side) {
+      idx = i;
+      break;
+    }
+  ASSERT_NE(idx, ~0u);
+  FailureSet f;
+  f.failed_switches = {net.converters()[idx].core};
+  auto recovered = plan_recovery(net, configs, f);
+  std::uint32_t peer = net.converters()[idx].peer;
+  EXPECT_EQ(recovered[idx], ConverterConfig::Local);
+  EXPECT_EQ(recovered[peer], ConverterConfig::Local);
+}
+
+TEST(PlanRecovery, FallsBackToEdgeWhenAggAlsoFailed) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  std::uint32_t idx = ~0u;
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (configs[i] == ConverterConfig::Side) {
+      idx = i;
+      break;
+    }
+  ASSERT_NE(idx, ~0u);
+  const Converter& c = net.converters()[idx];
+  FailureSet f;
+  f.failed_switches = {c.core, c.agg};
+  auto recovered = plan_recovery(net, configs, f);
+  EXPECT_EQ(recovered[idx], ConverterConfig::Default);  // edge still alive
+}
+
+TEST(Recovery, DegradedThroughputImproves) {
+  // Recovery must not leave the degraded network worse-connected: all
+  // servers reachable again means APL computable where it was not.
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  topo::Topology t = net.materialize(configs);
+  auto weights = t.servers_per_switch();
+  FailureSet f;
+  for (NodeId v = 0; v < t.switch_count(); ++v)
+    if (t.info(v).kind == topo::SwitchKind::Core && weights[v] > 0) {
+      f.failed_switches.push_back(v);
+      break;
+    }
+  auto recovered = plan_recovery(net, configs, f);
+  DegradedTopology d = apply_failures(net.materialize(recovered), f);
+  EXPECT_TRUE(d.stranded_servers.empty());
+  // Every surviving server pair still connected through the degraded net.
+  auto dist = graph::bfs_distances(d.topo.graph(), d.topo.host(0));
+  for (topo::ServerId s = 0; s < d.topo.server_count(); ++s)
+    EXPECT_NE(dist[d.topo.host(s)], graph::kUnreachable);
+}
+
+}  // namespace
+}  // namespace flattree::core

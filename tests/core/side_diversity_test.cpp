@@ -1,0 +1,97 @@
+// Network-level consequences of the inter-pod shifting pattern (paper
+// Section 2.5): "We want to connect an edge/aggregation switch to as many
+// different switches as possible in the adjacent Pod".
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/flat_tree.hpp"
+
+namespace flattree::core {
+namespace {
+
+TEST(SideDiversity, EdgeSwitchReachesDistinctAdjacentPodSwitches) {
+  // k = 32 -> m = 4 rows of 6-port converters per pair; the shift pattern
+  // must land each row's side link on a different adjacent-pod column.
+  FlatTreeConfig cfg;
+  cfg.k = 32;
+  FlatTreeNetwork net(cfg);
+  topo::Topology t = net.build(Mode::GlobalRandom);
+
+  for (std::uint32_t pod = 0; pod < 4; ++pod) {  // sample a few pods
+    for (std::uint32_t j = 0; j < net.params().d(); ++j) {
+      NodeId edge = net.edge_switch(pod, j);
+      std::set<NodeId> adjacent_peers;
+      for (graph::LinkId l = 0; l < t.link_count(); ++l) {
+        if (t.link_info(l).origin != topo::LinkOrigin::InterPodSide) continue;
+        const auto& link = t.graph().link(l);
+        if (link.a == edge) adjacent_peers.insert(link.b);
+        if (link.b == edge) adjacent_peers.insert(link.a);
+      }
+      // m = 4 side links, all to distinct switches.
+      EXPECT_EQ(adjacent_peers.size(), net.config().m) << "pod " << pod << " edge " << j;
+    }
+  }
+}
+
+TEST(SideDiversity, SideAndCrossBothPresent) {
+  // Even rows pair as `side` (edge-edge', agg-agg'), odd rows as `cross`
+  // (edge-agg'): with m >= 2 the network has both link flavors.
+  FlatTreeConfig cfg;
+  cfg.k = 16;  // m = 2
+  FlatTreeNetwork net(cfg);
+  topo::Topology t = net.build(Mode::GlobalRandom);
+  bool edge_edge = false, edge_agg = false, agg_agg = false;
+  for (graph::LinkId l = 0; l < t.link_count(); ++l) {
+    if (t.link_info(l).origin != topo::LinkOrigin::InterPodSide) continue;
+    const auto& link = t.graph().link(l);
+    auto ka = t.info(link.a).kind, kb = t.info(link.b).kind;
+    if (ka == topo::SwitchKind::Edge && kb == topo::SwitchKind::Edge) edge_edge = true;
+    if (ka == topo::SwitchKind::Aggregation && kb == topo::SwitchKind::Aggregation)
+      agg_agg = true;
+    if (ka != kb) edge_agg = true;
+  }
+  EXPECT_TRUE(edge_edge);
+  EXPECT_TRUE(agg_agg);
+  EXPECT_TRUE(edge_agg);
+}
+
+TEST(SideDiversity, SideLinksOnlyBetweenAdjacentPods) {
+  FlatTreeConfig cfg;
+  cfg.k = 12;
+  FlatTreeNetwork net(cfg);
+  topo::Topology t = net.build(Mode::GlobalRandom);
+  const std::int32_t pods = static_cast<std::int32_t>(net.params().pods());
+  for (graph::LinkId l = 0; l < t.link_count(); ++l) {
+    if (t.link_info(l).origin != topo::LinkOrigin::InterPodSide) continue;
+    const auto& link = t.graph().link(l);
+    std::int32_t pa = t.info(link.a).pod, pb = t.info(link.b).pod;
+    std::int32_t diff = (pa - pb + pods) % pods;
+    EXPECT_TRUE(diff == 1 || diff == pods - 1)
+        << "side link between non-adjacent pods " << pa << " and " << pb;
+  }
+}
+
+TEST(SideDiversity, SideLinkCountMatchesPairing) {
+  // Ring chain, even d: every 6-port pair contributes exactly 2 links.
+  for (std::uint32_t k : {8u, 12u, 16u}) {
+    FlatTreeConfig cfg;
+    cfg.k = k;
+    FlatTreeNetwork net(cfg);
+    topo::Topology t = net.build(Mode::GlobalRandom);
+    std::size_t side = 0;
+    for (graph::LinkId l = 0; l < t.link_count(); ++l)
+      if (t.link_info(l).origin == topo::LinkOrigin::InterPodSide) ++side;
+    std::size_t pairs = 0;
+    for (const Converter& c : net.converters())
+      if (c.pair_canonical) ++pairs;
+    EXPECT_EQ(side, 2 * pairs) << "k=" << k;
+    // All 6-ports paired: pairs = pods * d * m / 2.
+    EXPECT_EQ(pairs, static_cast<std::size_t>(net.params().pods()) * net.params().d() *
+                         net.config().m / 2);
+  }
+}
+
+}  // namespace
+}  // namespace flattree::core

@@ -1,0 +1,136 @@
+#include "core/wiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flattree::core {
+namespace {
+
+TEST(PatternOffset, Pattern1AdvancesByM) {
+  for (std::uint32_t p = 0; p < 10; ++p)
+    EXPECT_EQ(pattern_offset(WiringPattern::Pattern1, p, 3, 8), (p * 3) % 8);
+}
+
+TEST(PatternOffset, Pattern2AdvancesByMPlusOne) {
+  for (std::uint32_t p = 0; p < 10; ++p)
+    EXPECT_EQ(pattern_offset(WiringPattern::Pattern2, p, 3, 8), (p * 4) % 8);
+}
+
+TEST(PatternOffset, AutoRejected) {
+  EXPECT_THROW(pattern_offset(WiringPattern::Auto, 0, 1, 4), std::invalid_argument);
+}
+
+TEST(PatternDegenerate, DetectsZeroStep) {
+  EXPECT_TRUE(pattern_degenerate(WiringPattern::Pattern1, 4, 4));   // m % g == 0
+  EXPECT_TRUE(pattern_degenerate(WiringPattern::Pattern2, 3, 4));   // (m+1) % g == 0
+  EXPECT_FALSE(pattern_degenerate(WiringPattern::Pattern1, 3, 4));
+  EXPECT_FALSE(pattern_degenerate(WiringPattern::Pattern2, 4, 4));
+}
+
+TEST(ResolvePattern, PaperRuleWhenNonDegenerate) {
+  // k % 4 == 0 -> pattern 2; otherwise pattern 1.
+  EXPECT_EQ(resolve_pattern(WiringPattern::Auto, 16, 2, 8), WiringPattern::Pattern2);
+  EXPECT_EQ(resolve_pattern(WiringPattern::Auto, 6, 1, 3), WiringPattern::Pattern1);
+}
+
+TEST(ResolvePattern, FallsBackWhenPreferredDegenerate) {
+  // k=4: group=2, m=1: pattern 2 step 2 = 0 mod 2 -> degenerate -> pattern 1.
+  EXPECT_EQ(resolve_pattern(WiringPattern::Auto, 4, 1, 2), WiringPattern::Pattern1);
+  // k=6 with m=3, group=3: pattern 1 degenerate -> pattern 2.
+  EXPECT_EQ(resolve_pattern(WiringPattern::Auto, 6, 3, 3), WiringPattern::Pattern2);
+}
+
+TEST(ResolvePattern, ExplicitChoiceHonored) {
+  EXPECT_EQ(resolve_pattern(WiringPattern::Pattern1, 16, 2, 8), WiringPattern::Pattern1);
+  EXPECT_EQ(resolve_pattern(WiringPattern::Pattern2, 6, 1, 3), WiringPattern::Pattern2);
+}
+
+TEST(ResolvePattern, ZeroMUsesPaperRule) {
+  EXPECT_EQ(resolve_pattern(WiringPattern::Auto, 8, 0, 4), WiringPattern::Pattern2);
+}
+
+TEST(AssignCores, CoversGroupExactlyOnce) {
+  for (auto pattern : {WiringPattern::Pattern1, WiringPattern::Pattern2}) {
+    for (std::uint32_t p = 0; p < 6; ++p) {
+      auto a = assign_cores(pattern, p, /*j=*/2, /*m=*/2, /*n=*/3, /*group=*/8);
+      std::set<std::uint32_t> cores;
+      for (auto c : a.core_of_blade_b) cores.insert(c);
+      for (auto c : a.core_of_blade_a) cores.insert(c);
+      for (auto c : a.core_of_agg) cores.insert(c);
+      EXPECT_EQ(cores.size(), 8u);
+      // Group j=2 of size 8 -> cores 16..23.
+      EXPECT_EQ(*cores.begin(), 16u);
+      EXPECT_EQ(*cores.rbegin(), 23u);
+    }
+  }
+}
+
+TEST(AssignCores, SlotOrderBladeBThenAThenAgg) {
+  auto a = assign_cores(WiringPattern::Pattern1, /*p=*/0, /*j=*/0, 2, 3, 8);
+  // Offset 0: blade B gets slots 0,1; blade A 2,3,4; agg 5,6,7.
+  EXPECT_EQ(a.core_of_blade_b, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(a.core_of_blade_a, (std::vector<std::uint32_t>{2, 3, 4}));
+  EXPECT_EQ(a.core_of_agg, (std::vector<std::uint32_t>{5, 6, 7}));
+}
+
+TEST(AssignCores, RotationWrapsWithinGroup) {
+  auto a = assign_cores(WiringPattern::Pattern1, /*p=*/3, /*j=*/0, 2, 2, 4);
+  // Offset = 3*2 mod 4 = 2: blade B slots 2,3; blade A wraps to 0,1.
+  EXPECT_EQ(a.core_of_blade_b, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(a.core_of_blade_a, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_TRUE(a.core_of_agg.empty());
+}
+
+TEST(AssignCores, RejectsOverfullGroup) {
+  EXPECT_THROW(assign_cores(WiringPattern::Pattern1, 0, 0, 3, 3, 4),
+               std::invalid_argument);
+}
+
+TEST(AssignCores, ZeroMAndN) {
+  auto a = assign_cores(WiringPattern::Pattern1, 2, 1, 0, 0, 4);
+  EXPECT_TRUE(a.core_of_blade_b.empty());
+  EXPECT_TRUE(a.core_of_blade_a.empty());
+  EXPECT_EQ(a.core_of_agg.size(), 4u);
+}
+
+TEST(SidePeerColumn, MatchesPaperFormula) {
+  const std::uint32_t w = 8;
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = 0; j < w; ++j)
+      EXPECT_EQ(side_peer_column(i, j, w), (w - 1 - j + i) % w);
+}
+
+TEST(SidePeerColumn, BijectivePerRow) {
+  const std::uint32_t w = 7;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    std::set<std::uint32_t> images;
+    for (std::uint32_t j = 0; j < w; ++j) images.insert(side_peer_column(i, j, w));
+    EXPECT_EQ(images.size(), w);
+  }
+}
+
+TEST(SidePeerColumn, RowsShiftRelativeToEachOther) {
+  // The design goal: converters in the same column connect to different
+  // columns across rows (diversity).
+  const std::uint32_t w = 6, j = 2;
+  std::set<std::uint32_t> images;
+  for (std::uint32_t i = 0; i < w; ++i) images.insert(side_peer_column(i, j, w));
+  EXPECT_EQ(images.size(), w);
+}
+
+TEST(SidePeerColumn, ErrorCases) {
+  EXPECT_THROW(side_peer_column(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(side_peer_column(0, 5, 5), std::invalid_argument);
+}
+
+TEST(WiringToString, Coverage) {
+  EXPECT_STREQ(to_string(WiringPattern::Pattern1), "pattern1");
+  EXPECT_STREQ(to_string(WiringPattern::Pattern2), "pattern2");
+  EXPECT_STREQ(to_string(WiringPattern::Auto), "auto");
+  EXPECT_STREQ(to_string(PodChain::Ring), "ring");
+  EXPECT_STREQ(to_string(PodChain::Linear), "linear");
+}
+
+}  // namespace
+}  // namespace flattree::core

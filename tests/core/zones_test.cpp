@@ -1,0 +1,93 @@
+#include "core/zones.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::core {
+namespace {
+
+TEST(ZonePartition, ProportionSplits) {
+  ZonePartition z = ZonePartition::proportion(10, 0.3);
+  EXPECT_EQ(z.pods_in(Mode::GlobalRandom).size(), 3u);
+  EXPECT_EQ(z.pods_in(Mode::LocalRandom).size(), 7u);
+  EXPECT_EQ(z.pod_modes.size(), 10u);
+}
+
+TEST(ZonePartition, ProportionExtremes) {
+  EXPECT_EQ(ZonePartition::proportion(10, 0.0).pods_in(Mode::GlobalRandom).size(), 0u);
+  EXPECT_EQ(ZonePartition::proportion(10, 1.0).pods_in(Mode::GlobalRandom).size(), 10u);
+}
+
+TEST(ZonePartition, ProportionRounds) {
+  // 0.25 of 10 pods -> lround(2.5) rounds away from zero -> 3.
+  EXPECT_EQ(ZonePartition::proportion(10, 0.25).pods_in(Mode::GlobalRandom).size(), 3u);
+  EXPECT_EQ(ZonePartition::proportion(30, 0.1).pods_in(Mode::GlobalRandom).size(), 3u);
+}
+
+TEST(ZonePartition, CustomRestMode) {
+  ZonePartition z = ZonePartition::proportion(6, 0.5, Mode::Clos);
+  EXPECT_EQ(z.pods_in(Mode::Clos).size(), 3u);
+  EXPECT_TRUE(z.pods_in(Mode::LocalRandom).empty());
+}
+
+TEST(ZonePartition, RejectsBadFraction) {
+  EXPECT_THROW(ZonePartition::proportion(4, -0.1), std::invalid_argument);
+  EXPECT_THROW(ZonePartition::proportion(4, 1.1), std::invalid_argument);
+}
+
+TEST(ZonePartition, PodsInAscendingOrder) {
+  ZonePartition z;
+  z.pod_modes = {Mode::Clos, Mode::GlobalRandom, Mode::Clos, Mode::GlobalRandom};
+  auto pods = z.pods_in(Mode::GlobalRandom);
+  ASSERT_EQ(pods.size(), 2u);
+  EXPECT_EQ(pods[0], 1u);
+  EXPECT_EQ(pods[1], 3u);
+}
+
+TEST(ServersInPods, MapsPodsToServerRanges) {
+  FlatTreeConfig cfg;
+  cfg.k = 4;  // 4 servers per pod
+  FlatTreeNetwork net(cfg);
+  auto servers = servers_in_pods(net, {0, 2});
+  ASSERT_EQ(servers.size(), 8u);
+  EXPECT_EQ(servers[0], 0u);
+  EXPECT_EQ(servers[3], 3u);
+  EXPECT_EQ(servers[4], 8u);
+  EXPECT_EQ(servers[7], 11u);
+}
+
+TEST(ServersInPods, EmptyPods) {
+  FlatTreeConfig cfg;
+  cfg.k = 4;
+  FlatTreeNetwork net(cfg);
+  EXPECT_TRUE(servers_in_pods(net, {}).empty());
+}
+
+TEST(RecommendZones, ProportionalToWorkload) {
+  WorkloadHint hint;
+  hint.servers_in_large_clusters = 300;
+  hint.servers_in_small_clusters = 100;
+  ZonePartition z = recommend_zones(8, hint);
+  EXPECT_EQ(z.pods_in(Mode::GlobalRandom).size(), 6u);
+  EXPECT_EQ(z.pods_in(Mode::LocalRandom).size(), 2u);
+}
+
+TEST(RecommendZones, AtLeastOnePodPerNonEmptyClass) {
+  WorkloadHint hint;
+  hint.servers_in_large_clusters = 1;
+  hint.servers_in_small_clusters = 10000;
+  ZonePartition z = recommend_zones(8, hint);
+  EXPECT_EQ(z.pods_in(Mode::GlobalRandom).size(), 1u);
+
+  hint.servers_in_large_clusters = 10000;
+  hint.servers_in_small_clusters = 1;
+  z = recommend_zones(8, hint);
+  EXPECT_EQ(z.pods_in(Mode::GlobalRandom).size(), 7u);
+}
+
+TEST(RecommendZones, EmptyWorkloadStaysClos) {
+  ZonePartition z = recommend_zones(8, WorkloadHint{});
+  EXPECT_EQ(z.pods_in(Mode::Clos).size(), 8u);
+}
+
+}  // namespace
+}  // namespace flattree::core

@@ -1,0 +1,133 @@
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_link(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  g.add_link(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+TEST(Bfs, PathGraphDistances) {
+  Graph g = path_graph(5);
+  auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, CycleGraphDistances) {
+  Graph g = cycle_graph(6);
+  auto d = bfs_distances(g, 0);
+  std::vector<std::uint32_t> expected{0, 1, 2, 3, 2, 1};
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], expected[v]);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, SymmetricOnUndirected) {
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 4);
+  g.add_link(0, 4);
+  for (NodeId u = 0; u < 5; ++u) {
+    auto du = bfs_distances(g, u);
+    for (NodeId v = 0; v < 5; ++v) {
+      auto dv = bfs_distances(g, v);
+      EXPECT_EQ(du[v], dv[u]);
+    }
+  }
+}
+
+TEST(Bfs, FilteredRespectsMask) {
+  // 0-1-2 and a shortcut 0-3-2; masking 3 forces the long way.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(0, 3);
+  g.add_link(3, 2);
+  std::vector<char> allowed{1, 1, 1, 0};
+  auto d = bfs_distances_filtered(g, 0, allowed);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, FilteredRejectsBannedSource) {
+  Graph g(2);
+  g.add_link(0, 1);
+  std::vector<char> allowed{0, 1};
+  EXPECT_THROW(bfs_distances_filtered(g, 0, allowed), std::invalid_argument);
+}
+
+TEST(Bfs, FilteredRejectsBadMaskSize) {
+  Graph g(2);
+  g.add_link(0, 1);
+  std::vector<char> allowed{1};
+  EXPECT_THROW(bfs_distances_filtered(g, 0, allowed), std::invalid_argument);
+}
+
+TEST(BfsTree, PathExtraction) {
+  Graph g = path_graph(4);
+  auto t = bfs_tree(g, 0);
+  auto p = extract_path(t, 3);
+  std::vector<NodeId> expected{0, 1, 2, 3};
+  EXPECT_EQ(p, expected);
+}
+
+TEST(BfsTree, UnreachableGivesEmptyPath) {
+  Graph g(3);
+  g.add_link(0, 1);
+  auto t = bfs_tree(g, 0);
+  EXPECT_TRUE(extract_path(t, 2).empty());
+}
+
+TEST(BfsTree, ParentLinksConsistent) {
+  Graph g = cycle_graph(5);
+  auto t = bfs_tree(g, 0);
+  for (NodeId v = 1; v < 5; ++v) {
+    ASSERT_NE(t.parent[v], kInvalidNode);
+    const Link& l = g.link(t.parent_link[v]);
+    EXPECT_TRUE((l.a == v && l.b == t.parent[v]) || (l.b == v && l.a == t.parent[v]));
+    EXPECT_EQ(t.dist[v], t.dist[t.parent[v]] + 1);
+  }
+}
+
+TEST(Connectivity, ConnectedGraph) {
+  EXPECT_TRUE(is_connected(path_graph(10)));
+  EXPECT_EQ(component_count(path_graph(10)), 1u);
+}
+
+TEST(Connectivity, DisconnectedGraph) {
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 3u);  // {0,1}, {2,3}, {4}
+}
+
+TEST(Connectivity, EmptyAndSingleton) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  Graph g(1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(component_count(g), 1u);
+}
+
+}  // namespace
+}  // namespace flattree::graph

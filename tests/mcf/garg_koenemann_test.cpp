@@ -1,0 +1,164 @@
+#include "mcf/garg_koenemann.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+
+namespace flattree::mcf {
+namespace {
+
+McfOptions tight() {
+  McfOptions o;
+  o.epsilon = 0.05;
+  return o;
+}
+
+TEST(GargKoenemann, SingleCommoditySinglePath) {
+  graph::Graph g(2);
+  g.add_link(0, 1, 2.0);
+  auto r = max_concurrent_flow(g, {{0, 1, 1.0}}, tight());
+  // One link of capacity 2, demand 1 -> lambda = 2.
+  EXPECT_NEAR(r.lambda_lower, 2.0, 0.02);
+  EXPECT_GE(r.lambda_upper + 1e-9, r.lambda_lower);
+  EXPECT_LE(r.lambda_upper, 2.0 * 1.2);
+}
+
+TEST(GargKoenemann, DemandScalesInversely) {
+  graph::Graph g(2);
+  g.add_link(0, 1, 1.0);
+  auto r1 = max_concurrent_flow(g, {{0, 1, 1.0}}, tight());
+  auto r4 = max_concurrent_flow(g, {{0, 1, 4.0}}, tight());
+  EXPECT_NEAR(r1.lambda_lower / r4.lambda_lower, 4.0, 0.1);
+}
+
+TEST(GargKoenemann, ParallelLinksAddCapacity) {
+  graph::Graph g(2);
+  g.add_link(0, 1, 1.0);
+  g.add_link(0, 1, 1.0);
+  auto r = max_concurrent_flow(g, {{0, 1, 1.0}}, tight());
+  EXPECT_NEAR(r.lambda_lower, 2.0, 0.05);
+}
+
+TEST(GargKoenemann, TwoCommoditiesShareBottleneck) {
+  // Path 0-1-2: commodity 0->2 and 1->2 share link (1,2): lambda = 0.5.
+  graph::Graph g(3);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 1.0);
+  auto r = max_concurrent_flow(g, {{0, 2, 1.0}, {1, 2, 1.0}}, tight());
+  EXPECT_NEAR(r.lambda_lower, 0.5, 0.01);
+  EXPECT_NEAR(r.lambda_upper, 0.5, 0.05);
+}
+
+TEST(GargKoenemann, OpposingCommoditiesUseFullDuplex) {
+  // Full-duplex model: 0->1 and 1->0 each get the full capacity.
+  graph::Graph g(2);
+  g.add_link(0, 1, 1.0);
+  auto r = max_concurrent_flow(g, {{0, 1, 1.0}, {1, 0, 1.0}}, tight());
+  EXPECT_NEAR(r.lambda_lower, 1.0, 0.02);
+}
+
+TEST(GargKoenemann, DiamondSplitsFlow) {
+  // Two disjoint 2-hop paths: single commodity gets lambda = 2.
+  graph::Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 3, 1.0);
+  g.add_link(0, 2, 1.0);
+  g.add_link(2, 3, 1.0);
+  auto r = max_concurrent_flow(g, {{0, 3, 1.0}}, tight());
+  EXPECT_NEAR(r.lambda_lower, 2.0, 0.05);
+}
+
+TEST(GargKoenemann, BroadcastStarBoundedByRoot) {
+  // Star: center 0 with 4 leaves; broadcast 0 -> each leaf, unit demands.
+  // Each leaf link carries lambda -> lambda = 1.
+  graph::Graph g(5);
+  for (graph::NodeId leaf = 1; leaf <= 4; ++leaf) g.add_link(0, leaf, 1.0);
+  std::vector<Commodity> cs;
+  for (graph::NodeId leaf = 1; leaf <= 4; ++leaf) cs.push_back({0, leaf, 1.0});
+  auto r = max_concurrent_flow(g, cs, tight());
+  EXPECT_NEAR(r.lambda_lower, 1.0, 0.02);
+}
+
+TEST(GargKoenemann, RescaledFlowRespectsCapacities) {
+  graph::Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(2, 3, 0.5);
+  g.add_link(0, 3, 1.0);
+  auto r = max_concurrent_flow(g, {{0, 3, 1.0}, {1, 3, 0.5}}, tight());
+  ASSERT_EQ(r.arc_flow.size(), g.link_count() * 2);
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    double cap = g.link(static_cast<graph::LinkId>(l)).capacity;
+    EXPECT_LE(r.arc_flow[2 * l], cap * (1.0 + 1e-9));
+    EXPECT_LE(r.arc_flow[2 * l + 1], cap * (1.0 + 1e-9));
+  }
+  EXPECT_NEAR(r.max_congestion > 0 ? 1.0 : 0.0, 1.0, 1e-9);
+}
+
+TEST(GargKoenemann, BoundsBracketTheOptimum) {
+  graph::Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 4);
+  g.add_link(4, 5);
+  g.add_link(5, 0);
+  g.add_link(0, 3);
+  auto r = max_concurrent_flow(g, {{0, 3, 1.0}, {1, 4, 1.0}, {2, 5, 1.0}}, tight());
+  EXPECT_GT(r.lambda_lower, 0.0);
+  EXPECT_LE(r.lambda_lower, r.lambda_upper * (1 + 1e-9));
+  // FPTAS quality: gap within ~3 epsilon.
+  EXPECT_GE(r.lambda_lower, r.lambda_upper * (1.0 - 3.2 * 0.05));
+}
+
+TEST(GargKoenemann, TighterEpsilonTightensGap) {
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 0);
+  std::vector<Commodity> cs{{0, 2, 1.0}, {1, 3, 1.0}};
+  McfOptions loose;
+  loose.epsilon = 0.5;
+  McfOptions fine;
+  fine.epsilon = 0.03;
+  auto rl = max_concurrent_flow(g, cs, loose);
+  auto rf = max_concurrent_flow(g, cs, fine);
+  EXPECT_LE(rf.lambda_upper - rf.lambda_lower, rl.lambda_upper - rl.lambda_lower + 1e-9);
+}
+
+TEST(GargKoenemann, ErrorCases) {
+  graph::Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(max_concurrent_flow(g, {}, tight()), std::invalid_argument);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 0, 1.0}}, tight()), std::invalid_argument);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 1, -1.0}}, tight()), std::invalid_argument);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 2, 1.0}}, tight()), std::invalid_argument);
+  McfOptions bad;
+  bad.epsilon = 1.5;
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 1, 1.0}}, bad), std::invalid_argument);
+}
+
+TEST(GargKoenemann, UpperBoundSkippable) {
+  graph::Graph g(2);
+  g.add_link(0, 1);
+  McfOptions o;
+  o.epsilon = 0.1;
+  o.compute_upper_bound = false;
+  auto r = max_concurrent_flow(g, {{0, 1, 1.0}}, o);
+  EXPECT_GT(r.lambda_lower, 0.0);
+  EXPECT_TRUE(std::isinf(r.lambda_upper));
+}
+
+TEST(GargKoenemann, StatsPopulated) {
+  graph::Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  auto r = max_concurrent_flow(g, {{0, 2, 1.0}}, tight());
+  EXPECT_GT(r.phases, 0u);
+  EXPECT_GT(r.augmentations, 0u);
+  EXPECT_GT(r.dijkstra_runs, 0u);
+}
+
+}  // namespace
+}  // namespace flattree::mcf

@@ -1,0 +1,152 @@
+#include "mcf/max_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcf/garg_koenemann.hpp"
+#include "mcf/lp_exact.hpp"
+#include "topo/fat_tree.hpp"
+#include "workload/traffic.hpp"
+
+namespace flattree::mcf {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  MaxFlow mf(2);
+  mf.add_arc(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 1), 3.5);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow mf(3);
+  mf.add_arc(0, 1, 5.0);
+  mf.add_arc(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.add_arc(0, 1, 1.0);
+  mf.add_arc(1, 3, 1.0);
+  mf.add_arc(0, 2, 2.0);
+  mf.add_arc(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 3.0);
+}
+
+TEST(MaxFlow, ClassicResidualExample) {
+  // Requires routing through the cross arc then undoing it.
+  MaxFlow mf(4);
+  mf.add_arc(0, 1, 1.0);
+  mf.add_arc(0, 2, 1.0);
+  mf.add_arc(1, 2, 1.0);
+  mf.add_arc(1, 3, 1.0);
+  mf.add_arc(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 2.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(3);
+  mf.add_arc(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 0.0);
+}
+
+TEST(MaxFlow, ArcFlowsConsistent) {
+  MaxFlow mf(3);
+  std::size_t a = mf.add_arc(0, 1, 2.0);
+  std::size_t b = mf.add_arc(1, 2, 1.0);
+  double total = mf.solve(0, 2);
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_DOUBLE_EQ(mf.arc_flow(a), 1.0);
+  EXPECT_DOUBLE_EQ(mf.arc_flow(b), 1.0);
+}
+
+TEST(MaxFlow, ResolveResetsState) {
+  MaxFlow mf(3);
+  mf.add_arc(0, 1, 2.0);
+  mf.add_arc(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 1.0);  // idempotent
+  EXPECT_DOUBLE_EQ(mf.solve(0, 1), 2.0);  // different sink
+}
+
+TEST(MaxFlow, ErrorCases) {
+  MaxFlow mf(2);
+  EXPECT_THROW(mf.add_arc(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(mf.add_arc(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(mf.solve(0, 0), std::invalid_argument);
+}
+
+TEST(SingleSourceConcurrent, StarClosedForm) {
+  graph::Graph g(5);
+  for (graph::NodeId leaf = 1; leaf <= 4; ++leaf) g.add_link(0, leaf, 1.0);
+  std::vector<std::pair<graph::NodeId, double>> targets;
+  for (graph::NodeId leaf = 1; leaf <= 4; ++leaf) targets.emplace_back(leaf, 1.0);
+  EXPECT_NEAR(single_source_concurrent_flow(g, 0, targets), 1.0, 1e-5);
+}
+
+TEST(SingleSourceConcurrent, BinaryTreeBroadcast) {
+  graph::Graph g(7);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(1, 4);
+  g.add_link(2, 5);
+  g.add_link(2, 6);
+  std::vector<std::pair<graph::NodeId, double>> targets;
+  for (graph::NodeId t = 1; t < 7; ++t) targets.emplace_back(t, 1.0);
+  EXPECT_NEAR(single_source_concurrent_flow(g, 0, targets), 1.0 / 3.0, 1e-5);
+}
+
+TEST(SingleSourceConcurrent, MatchesExactLp) {
+  graph::Graph g(5);
+  g.add_link(0, 1, 1.0);
+  g.add_link(0, 2, 2.0);
+  g.add_link(1, 3, 1.0);
+  g.add_link(2, 3, 1.0);
+  g.add_link(2, 4, 0.5);
+  g.add_link(3, 4, 1.0);
+  std::vector<Commodity> cs{{0, 3, 1.0}, {0, 4, 2.0}};
+  auto exact = max_concurrent_flow_exact(g, cs);
+  ASSERT_TRUE(exact.solved);
+  std::vector<std::pair<graph::NodeId, double>> targets{{3, 1.0}, {4, 2.0}};
+  EXPECT_NEAR(single_source_concurrent_flow(g, 0, targets), exact.lambda, 1e-4);
+}
+
+TEST(SingleSourceConcurrent, BracketsGargKoenemann) {
+  // Fat-tree broadcast, single cluster: exact max-flow value must sit in
+  // the GK [lower, upper] bracket.
+  topo::FatTree ft = topo::build_fat_tree(4);
+  util::Rng rng(5);
+  auto clusters = workload::make_clusters(16, 16, workload::Placement::Locality, 4, rng);
+  auto demands = workload::cluster_traffic(clusters, workload::Pattern::Broadcast, rng);
+  auto commodities = aggregate_to_switches(ft.topo, demands);
+  auto groups = group_by_source(commodities);
+  ASSERT_EQ(groups.size(), 1u);
+  double exact = single_source_concurrent_flow(ft.topo.graph(), groups[0], 1e-6);
+  McfOptions opt;
+  opt.epsilon = 0.05;
+  auto gk = max_concurrent_flow(ft.topo.graph(), commodities, opt);
+  EXPECT_LE(gk.lambda_lower, exact * (1 + 1e-6));
+  EXPECT_GE(gk.lambda_upper, exact * (1 - 1e-6));
+  EXPECT_GE(gk.lambda_lower, exact * 0.84);
+}
+
+TEST(SingleSourceConcurrent, UnreachableTargetThrows) {
+  graph::Graph g(3);
+  g.add_link(0, 1);
+  std::vector<std::pair<graph::NodeId, double>> targets{{2, 1.0}};
+  EXPECT_THROW(single_source_concurrent_flow(g, 0, targets), std::invalid_argument);
+}
+
+TEST(SingleSourceConcurrent, ErrorCases) {
+  graph::Graph g(2);
+  g.add_link(0, 1);
+  std::vector<std::pair<graph::NodeId, double>> empty;
+  EXPECT_THROW(single_source_concurrent_flow(g, 0, empty), std::invalid_argument);
+  std::vector<std::pair<graph::NodeId, double>> self{{0, 1.0}};
+  EXPECT_THROW(single_source_concurrent_flow(g, 0, self), std::invalid_argument);
+  std::vector<std::pair<graph::NodeId, double>> bad{{1, -1.0}};
+  EXPECT_THROW(single_source_concurrent_flow(g, 0, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flattree::mcf

@@ -1,0 +1,93 @@
+#include "routing/ecmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topo/fat_tree.hpp"
+
+namespace flattree::routing {
+namespace {
+
+graph::Graph diamond() {
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  return g;
+}
+
+TEST(Ecmp, PathSetContainsAllShortest) {
+  graph::Graph g = diamond();
+  EcmpRouting routing(g);
+  const auto& paths = routing.paths(0, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) EXPECT_EQ(p.links.size(), 2u);
+}
+
+TEST(Ecmp, SelectionDeterministic) {
+  graph::Graph g = diamond();
+  EcmpRouting routing(g);
+  const graph::Path& p1 = routing.select(0, 3, 42);
+  const graph::Path& p2 = routing.select(0, 3, 42);
+  EXPECT_EQ(p1.nodes, p2.nodes);
+}
+
+TEST(Ecmp, DifferentFlowsSpreadAcrossPaths) {
+  graph::Graph g = diamond();
+  EcmpRouting routing(g);
+  std::map<std::vector<graph::NodeId>, int> counts;
+  for (std::uint64_t flow = 0; flow < 200; ++flow)
+    ++counts[routing.select(0, 3, flow).nodes];
+  ASSERT_EQ(counts.size(), 2u);
+  for (const auto& [nodes, count] : counts) EXPECT_GT(count, 50);
+}
+
+TEST(Ecmp, SaltChangesSelection) {
+  graph::Graph g = diamond();
+  EcmpRouting r0(g, 64, 0), r1(g, 64, 12345);
+  int differing = 0;
+  for (std::uint64_t flow = 0; flow < 64; ++flow)
+    if (r0.select(0, 3, flow).nodes != r1.select(0, 3, flow).nodes) ++differing;
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Ecmp, MaxPathsCapRespected) {
+  // 6 parallel 2-hop routes, cap at 3.
+  graph::Graph g(8);
+  for (graph::NodeId mid = 1; mid <= 6; ++mid) {
+    g.add_link(0, mid);
+    g.add_link(mid, 7);
+  }
+  EcmpRouting routing(g, 3);
+  EXPECT_EQ(routing.paths(0, 7).size(), 3u);
+}
+
+TEST(Ecmp, DisconnectedThrows) {
+  graph::Graph g(2);
+  EcmpRouting routing(g);
+  EXPECT_THROW(routing.paths(0, 1), std::runtime_error);
+}
+
+TEST(Ecmp, FatTreeEcmpPathCount) {
+  // Inter-pod pairs in a k-ary fat-tree have (k/2)^2 shortest paths.
+  topo::FatTree ft = topo::build_fat_tree(4);
+  EcmpRouting routing(ft.topo.graph(), 64);
+  const auto& paths = routing.paths(ft.edge_switch(0, 0), ft.edge_switch(1, 0));
+  EXPECT_EQ(paths.size(), 4u);
+  for (const auto& p : paths) EXPECT_EQ(p.links.size(), 4u);
+  // Intra-pod pairs have k/2 equal-cost paths (one per aggregation switch).
+  EXPECT_EQ(routing.paths(ft.edge_switch(0, 0), ft.edge_switch(0, 1)).size(), 2u);
+}
+
+TEST(Ecmp, CachesPathSets) {
+  graph::Graph g = diamond();
+  EcmpRouting routing(g);
+  const auto& a = routing.paths(0, 3);
+  const auto& b = routing.paths(0, 3);
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace flattree::routing

@@ -1,0 +1,73 @@
+#include "routing/ksp_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/flat_tree.hpp"
+
+namespace flattree::routing {
+namespace {
+
+graph::Graph ring(std::size_t n) {
+  graph::Graph g(n);
+  for (graph::NodeId i = 0; i < n; ++i)
+    g.add_link(i, static_cast<graph::NodeId>((i + 1) % n));
+  return g;
+}
+
+TEST(KspRouting, ReturnsUpToKPaths) {
+  graph::Graph g = ring(6);
+  KspRouting routing(g, 4);
+  // A ring has exactly 2 loopless paths between any pair.
+  EXPECT_EQ(routing.paths(0, 3).size(), 2u);
+}
+
+TEST(KspRouting, PathsSortedByLength) {
+  graph::Graph g = ring(7);
+  KspRouting routing(g, 4);
+  const auto& paths = routing.paths(0, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_LE(paths[0].length, paths[1].length);
+  EXPECT_DOUBLE_EQ(paths[0].length, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].length, 5.0);
+}
+
+TEST(KspRouting, SelectionUsesNonShortestPathsToo) {
+  graph::Graph g = ring(6);
+  KspRouting routing(g, 8);
+  std::set<std::size_t> lengths;
+  for (std::uint64_t flow = 0; flow < 100; ++flow)
+    lengths.insert(routing.select(0, 2, flow).links.size());
+  EXPECT_EQ(lengths.size(), 2u);  // both ring directions get traffic
+}
+
+TEST(KspRouting, DeterministicSelection) {
+  graph::Graph g = ring(6);
+  KspRouting routing(g, 8);
+  EXPECT_EQ(routing.select(0, 3, 7).nodes, routing.select(0, 3, 7).nodes);
+}
+
+TEST(KspRouting, DisconnectedThrows) {
+  graph::Graph g(3);
+  g.add_link(0, 1);
+  KspRouting routing(g, 4);
+  EXPECT_THROW(routing.paths(0, 2), std::runtime_error);
+}
+
+TEST(KspRouting, WorksOnConvertedFlatTree) {
+  core::FlatTreeConfig cfg;
+  cfg.k = 4;
+  core::FlatTreeNetwork net(cfg);
+  topo::Topology grg = net.build(core::Mode::GlobalRandom);
+  KspRouting routing(grg.graph(), 8);
+  const auto& paths = routing.paths(0, static_cast<graph::NodeId>(grg.switch_count() - 1));
+  EXPECT_GE(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.nodes.front(), 0u);
+    EXPECT_EQ(p.nodes.back(), grg.switch_count() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace flattree::routing

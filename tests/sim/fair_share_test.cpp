@@ -1,0 +1,107 @@
+#include "sim/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::sim {
+namespace {
+
+TEST(FairShare, SingleFlowGetsFullCapacity) {
+  FairShareProblem p;
+  p.capacity = {2.0};
+  p.flow_resources = {{0}};
+  auto rates = max_min_rates(p);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+}
+
+TEST(FairShare, EqualSplitOnSharedLink) {
+  FairShareProblem p;
+  p.capacity = {1.0};
+  p.flow_resources = {{0}, {0}, {0}, {0}};
+  auto rates = max_min_rates(p);
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+TEST(FairShare, ClassicTwoLinkExample) {
+  // Link A cap 1 shared by flows 1,2; link B cap 2 used by flow 2 and 3.
+  // Max-min: flow1 = flow2 = 0.5 (A saturates), flow3 = 1.5 (B fills).
+  FairShareProblem p;
+  p.capacity = {1.0, 2.0};
+  p.flow_resources = {{0}, {0, 1}, {1}};
+  auto rates = max_min_rates(p);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 1.5);
+}
+
+TEST(FairShare, BottleneckSaturation) {
+  // Every resource with at least one flow frozen at it must be saturated
+  // or every flow on it bottlenecked elsewhere at a lower-or-equal rate.
+  FairShareProblem p;
+  p.capacity = {1.0, 1.0, 3.0};
+  p.flow_resources = {{0, 2}, {1, 2}, {2}, {0, 1}};
+  auto rates = max_min_rates(p);
+  // Feasibility: no resource over capacity.
+  std::vector<double> used(p.capacity.size(), 0.0);
+  for (std::size_t f = 0; f < rates.size(); ++f)
+    for (auto r : p.flow_resources[f]) used[r] += rates[f];
+  for (std::size_t r = 0; r < used.size(); ++r)
+    EXPECT_LE(used[r], p.capacity[r] + 1e-9);
+  // Max-min property: each flow has a saturated resource.
+  for (std::size_t f = 0; f < rates.size(); ++f) {
+    bool has_bottleneck = false;
+    for (auto r : p.flow_resources[f])
+      if (used[r] >= p.capacity[r] - 1e-9) has_bottleneck = true;
+    EXPECT_TRUE(has_bottleneck) << "flow " << f << " could grow";
+  }
+}
+
+TEST(FairShare, DuplicateResourceEntriesCountOnce) {
+  FairShareProblem p;
+  p.capacity = {1.0};
+  p.flow_resources = {{0, 0, 0}};
+  auto rates = max_min_rates(p);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+}
+
+TEST(FairShare, SymmetricFlowsGetEqualRates) {
+  FairShareProblem p;
+  p.capacity = {1.0, 1.0, 1.0};
+  p.flow_resources = {{0, 1}, {1, 2}, {2, 0}};
+  auto rates = max_min_rates(p);
+  EXPECT_NEAR(rates[0], rates[1], 1e-12);
+  EXPECT_NEAR(rates[1], rates[2], 1e-12);
+  EXPECT_NEAR(rates[0], 0.5, 1e-12);
+}
+
+TEST(FairShare, NoFlows) {
+  FairShareProblem p;
+  p.capacity = {1.0};
+  EXPECT_TRUE(max_min_rates(p).empty());
+}
+
+TEST(FairShare, ErrorCases) {
+  FairShareProblem p;
+  p.capacity = {1.0};
+  p.flow_resources = {{}};
+  EXPECT_THROW(max_min_rates(p), std::invalid_argument);
+  p.flow_resources = {{5}};
+  EXPECT_THROW(max_min_rates(p), std::invalid_argument);
+  p.capacity = {0.0};
+  p.flow_resources = {{0}};
+  EXPECT_THROW(max_min_rates(p), std::invalid_argument);
+}
+
+TEST(FairShare, ManyFlowsScales) {
+  FairShareProblem p;
+  p.capacity.assign(50, 1.0);
+  for (int f = 0; f < 500; ++f)
+    p.flow_resources.push_back({static_cast<std::uint32_t>(f % 50),
+                                static_cast<std::uint32_t>((f * 7) % 50)});
+  auto rates = max_min_rates(p);
+  EXPECT_EQ(rates.size(), 500u);
+  for (double r : rates) EXPECT_GT(r, 0.0);
+}
+
+}  // namespace
+}  // namespace flattree::sim

@@ -1,0 +1,120 @@
+#include "sim/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/ecmp.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace flattree::sim {
+namespace {
+
+struct Fixture {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  routing::EcmpRouting routing{ft.topo.graph()};
+  FlowSimulator simulator{ft.topo, routing};
+};
+
+TEST(FlowSim, SingleFlowFctEqualsSizeOverNicRate) {
+  Fixture fx;
+  // One inter-pod flow, NIC rate 1: FCT = size.
+  std::vector<SimFlow> flows{{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 3.0, 0.0}};
+  auto records = fx.simulator.run(flows);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NEAR(records[0].fct(), 3.0, 1e-9);
+  EXPECT_EQ(records[0].hops, 4u);  // edge-agg-core-agg-edge
+}
+
+TEST(FlowSim, SameSwitchFlowHasZeroHops) {
+  Fixture fx;
+  std::vector<SimFlow> flows{{fx.ft.server(0, 0, 0), fx.ft.server(0, 0, 1), 1.0, 0.0}};
+  auto records = fx.simulator.run(flows);
+  EXPECT_EQ(records[0].hops, 0u);
+  EXPECT_NEAR(records[0].fct(), 1.0, 1e-9);  // NIC-limited
+}
+
+TEST(FlowSim, TwoFlowsShareSourceNic) {
+  Fixture fx;
+  // Same source server, two destinations: NIC 1.0 shared -> each at 0.5.
+  std::vector<SimFlow> flows{
+      {fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 1.0, 0.0},
+      {fx.ft.server(0, 0, 0), fx.ft.server(2, 0, 0), 1.0, 0.0},
+  };
+  auto records = fx.simulator.run(flows);
+  EXPECT_NEAR(records[0].fct(), 2.0, 1e-9);
+  EXPECT_NEAR(records[1].fct(), 2.0, 1e-9);
+}
+
+TEST(FlowSim, LateArrivalWaitsAndShares) {
+  Fixture fx;
+  // Flow B arrives at t=1 sharing A's NIC; A then slows down.
+  std::vector<SimFlow> flows{
+      {fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 2.0, 0.0},
+      {fx.ft.server(0, 0, 0), fx.ft.server(2, 0, 0), 0.5, 1.0},
+  };
+  auto records = fx.simulator.run(flows);
+  // A sends 1 unit by t=1, then both at 0.5: B done at t=2, A resumes
+  // rate 1 with 0.5 left -> done at 2.5.
+  EXPECT_NEAR(records[1].finish, 2.0, 1e-9);
+  EXPECT_NEAR(records[0].finish, 2.5, 1e-9);
+}
+
+TEST(FlowSim, HigherNicCapacitySpeedsUp) {
+  Fixture fx;
+  SimConfig cfg;
+  cfg.nic_capacity = 4.0;
+  FlowSimulator fast(fx.ft.topo, fx.routing, cfg);
+  std::vector<SimFlow> flows{{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 4.0, 0.0}};
+  auto records = fast.run(flows);
+  // Now link-limited at 1.0? Path links have capacity 1 -> rate 1.
+  EXPECT_NEAR(records[0].fct(), 4.0, 1e-9);
+  // Same-switch flow is NIC-limited only -> rate 4.
+  std::vector<SimFlow> local{{fx.ft.server(0, 0, 0), fx.ft.server(0, 0, 1), 4.0, 0.0}};
+  EXPECT_NEAR(fast.run(local)[0].fct(), 1.0, 1e-9);
+}
+
+TEST(FlowSim, RecordsKeepInputOrder) {
+  Fixture fx;
+  std::vector<SimFlow> flows{
+      {fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 1.0, 5.0},  // arrives later
+      {fx.ft.server(2, 0, 0), fx.ft.server(3, 0, 0), 1.0, 0.0},
+  };
+  auto records = fx.simulator.run(flows);
+  EXPECT_EQ(records[0].flow.arrival, 5.0);
+  EXPECT_EQ(records[1].flow.arrival, 0.0);
+  EXPECT_NEAR(records[0].finish, 6.0, 1e-9);
+  EXPECT_NEAR(records[1].finish, 1.0, 1e-9);
+}
+
+TEST(FlowSim, ManyParallelFlowsAllComplete) {
+  Fixture fx;  // k = 4 fat-tree: 16 servers
+  std::vector<SimFlow> flows;
+  for (std::uint32_t s = 0; s < 16; ++s)
+    flows.push_back({s, static_cast<topo::ServerId>((s + 8) % 16), 1.0,
+                     static_cast<double>(s) * 0.1});
+  auto records = fx.simulator.run(flows);
+  for (const auto& r : records) {
+    EXPECT_GT(r.finish, r.flow.arrival);
+    EXPECT_LT(r.finish, 100.0);
+  }
+}
+
+TEST(FlowSim, ErrorCases) {
+  Fixture fx;
+  EXPECT_THROW(fx.simulator.run({}), std::invalid_argument);
+  std::vector<SimFlow> self{{0, 0, 1.0, 0.0}};
+  EXPECT_THROW(fx.simulator.run(self), std::invalid_argument);
+}
+
+TEST(FlowSim, DeterministicAcrossRuns) {
+  Fixture fx;
+  std::vector<SimFlow> flows;
+  for (std::uint32_t s = 0; s < 8; ++s)
+    flows.push_back({s, static_cast<topo::ServerId>(15 - s), 1.0 + s, 0.0});
+  auto r1 = fx.simulator.run(flows);
+  auto r2 = fx.simulator.run(flows);
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1[i].finish, r2[i].finish);
+}
+
+}  // namespace
+}  // namespace flattree::sim

@@ -1,0 +1,131 @@
+#include "sim/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/ecmp.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace flattree::sim {
+namespace {
+
+struct Fixture {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  routing::EcmpRouting routing{ft.topo.graph()};
+  routing::Fib fib =
+      routing::compile_fib(ft.topo, routing, routing::all_server_pairs(ft.topo));
+};
+
+TEST(PacketSim, SinglePacketDelayClosedForm) {
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.propagation_delay = 0.01;
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  // Inter-pod path: 4 switch hops; delay = 4 * (1/cap + prop).
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 1, 0.0}});
+  EXPECT_EQ(stats.injected, 1u);
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_NEAR(stats.mean_delay, 4 * (1.0 + 0.01), 1e-9);
+}
+
+TEST(PacketSim, SameSwitchDeliveryIsImmediate) {
+  Fixture fx;
+  PacketSimulator sim(fx.ft.topo, fx.fib);
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(0, 0, 1), 1, 0.0}});
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_delay, 0.0);  // no switch hops in the fabric
+}
+
+TEST(PacketSim, TrainQueuesBehindItself) {
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.propagation_delay = 0.0;
+  cfg.nic_rate = 10.0;  // injection faster than the 1.0-capacity links
+  cfg.queue_packets = 0;  // infinite queues
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 10, 0.0}});
+  EXPECT_EQ(stats.delivered, 10u);
+  // First packet: 4 hops x 1.0; last packet injected at 0.9 but serialized
+  // behind 9 predecessors on the first link: leaves hop1 at 10, arrives
+  // after 3 more hops at 13 -> delay 12.1; mean grows beyond the base 4.
+  EXPECT_GT(stats.mean_delay, 4.0);
+  EXPECT_NEAR(stats.max_delay, 13.0 - 0.9, 1e-9);
+}
+
+TEST(PacketSim, FiniteQueuesDropTail) {
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.nic_rate = 100.0;  // slam the first queue
+  cfg.queue_packets = 4;
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 50, 0.0}});
+  EXPECT_EQ(stats.injected, 50u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.delivered + stats.dropped, 50u);
+  EXPECT_GT(stats.loss_rate(), 0.0);
+}
+
+TEST(PacketSim, DisjointFlowsDontInterfere) {
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.propagation_delay = 0.0;
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  // Two flows inside different pods, entirely disjoint paths.
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(0, 1, 0), 5, 0.0},
+                        {fx.ft.server(2, 0, 0), fx.ft.server(2, 1, 0), 5, 0.0}});
+  EXPECT_EQ(stats.delivered, 10u);
+  // Intra-pod: 2 hops; NIC-paced injection (gap 1.0) matches link rate so
+  // no queueing: every packet sees exactly 2.0.
+  EXPECT_NEAR(stats.mean_delay, 2.0, 1e-9);
+  EXPECT_NEAR(stats.max_delay, 2.0, 1e-9);
+}
+
+TEST(PacketSim, DeterministicAcrossRuns) {
+  Fixture fx;
+  PacketSimulator sim(fx.ft.topo, fx.fib);
+  std::vector<PacketFlow> flows;
+  for (std::uint32_t s = 0; s < 8; ++s)
+    flows.push_back({s, static_cast<topo::ServerId>(15 - s), 6, 0.05 * s});
+  auto a = sim.run(flows);
+  auto b = sim.run(flows);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(PacketSim, AllPacketsAccountedUnderLoad) {
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.queue_packets = 8;
+  cfg.nic_rate = 4.0;
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  std::vector<PacketFlow> flows;
+  for (std::uint32_t s = 0; s < 16; ++s)
+    flows.push_back({s, static_cast<topo::ServerId>((s + 5) % 16), 20, 0.0});
+  auto stats = sim.run(flows);
+  EXPECT_EQ(stats.injected, 320u);
+  EXPECT_EQ(stats.delivered + stats.dropped, stats.injected);
+  EXPECT_GT(stats.finish_time, 0.0);
+}
+
+TEST(PacketSim, ErrorCases) {
+  Fixture fx;
+  PacketSimulator sim(fx.ft.topo, fx.fib);
+  EXPECT_THROW(sim.run({}), std::invalid_argument);
+  EXPECT_THROW(sim.run({{3, 3, 1, 0.0}}), std::invalid_argument);
+  PacketSimConfig bad;
+  bad.packet_size = 0.0;
+  EXPECT_THROW(PacketSimulator(fx.ft.topo, fx.fib, bad), std::invalid_argument);
+}
+
+TEST(PacketSim, MissingFibRouteThrows) {
+  Fixture fx;
+  routing::Fib empty(fx.ft.topo.switch_count());
+  PacketSimulator sim(fx.ft.topo, empty);
+  EXPECT_THROW(sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 1, 0.0}}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flattree::sim

@@ -1,0 +1,84 @@
+#include "topo/apl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.hpp"
+
+namespace flattree::topo {
+namespace {
+
+Topology two_switch() {
+  Topology t;
+  t.add_switch(SwitchKind::Edge, 0, 0, 4);
+  t.add_switch(SwitchKind::Edge, 0, 1, 4);
+  t.add_link(0, 1, LinkOrigin::Random);
+  t.add_server(0);
+  t.add_server(0);
+  t.add_server(1);
+  return t;
+}
+
+TEST(ServerApl, TinyTopologyExact) {
+  Topology t = two_switch();
+  // Pairs: (s0,s1) same switch = 2; (s0,s2), (s1,s2) = 1 hop + 2 = 3.
+  auto r = server_apl(t);
+  EXPECT_EQ(r.pairs, 3u);
+  EXPECT_DOUBLE_EQ(r.average, (2.0 + 3.0 + 3.0) / 3.0);
+}
+
+TEST(ServerAplSubset, OnlySubsetPairsCounted) {
+  Topology t = two_switch();
+  auto r = server_apl_subset(t, {0, 2});
+  EXPECT_EQ(r.pairs, 1u);
+  EXPECT_DOUBLE_EQ(r.average, 3.0);
+}
+
+TEST(ServerAplSubset, SubsetOfOneGivesZeroPairs) {
+  Topology t = two_switch();
+  auto r = server_apl_subset(t, {0});
+  EXPECT_EQ(r.pairs, 0u);
+  EXPECT_DOUBLE_EQ(r.average, 0.0);
+}
+
+TEST(ServerAplGrouped, MatchesManualCombination) {
+  FatTree ft = build_fat_tree(4);
+  std::vector<std::vector<ServerId>> groups;
+  for (std::uint32_t pod = 0; pod < 4; ++pod) {
+    std::vector<ServerId> g;
+    for (std::uint32_t s = 0; s < 4; ++s) g.push_back(pod * 4 + s);
+    groups.push_back(g);
+  }
+  auto grouped = server_apl_grouped(ft.topo, groups);
+  // Combine by hand.
+  long double total = 0;
+  std::uint64_t pairs = 0;
+  for (const auto& g : groups) {
+    auto r = server_apl_subset(ft.topo, g);
+    total += static_cast<long double>(r.average) * r.pairs;
+    pairs += r.pairs;
+  }
+  EXPECT_EQ(grouped.pairs, pairs);
+  EXPECT_NEAR(grouped.average, static_cast<double>(total / pairs), 1e-12);
+}
+
+TEST(ServerAplGrouped, IntraPodFatTreeValue) {
+  // Within a fat-tree pod: same-edge pairs distance 2, cross-edge 4.
+  FatTree ft = build_fat_tree(8);
+  std::vector<ServerId> pod0;
+  for (std::uint32_t s = 0; s < ft.params.servers_per_pod(); ++s) pod0.push_back(s);
+  auto r = server_apl_subset(ft.topo, pod0);
+  double per_edge = 4, n = 16;
+  double same_edge = n * (per_edge - 1) / 2;
+  double pairs = n * (n - 1) / 2;
+  double expect = (2 * same_edge + 4 * (pairs - same_edge)) / pairs;
+  EXPECT_NEAR(r.average, expect, 1e-12);
+}
+
+TEST(ServerAplGrouped, SkipsTinyGroups) {
+  Topology t = two_switch();
+  auto r = server_apl_grouped(t, {{0}, {1, 2}});
+  EXPECT_EQ(r.pairs, 1u);
+}
+
+}  // namespace
+}  // namespace flattree::topo

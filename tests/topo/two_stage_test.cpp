@@ -1,0 +1,111 @@
+#include "topo/two_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "topo/apl.hpp"
+
+namespace flattree::topo {
+namespace {
+
+class TwoStageParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TwoStageParam, SameEquipmentAsFatTree) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k);
+  Topology t = build_two_stage_random_graph(k, rng);
+  auto counts = t.kind_counts();
+  EXPECT_EQ(counts[0], k * k / 4);
+  EXPECT_EQ(counts[1], k * k / 2);
+  EXPECT_EQ(counts[2], k * k / 2);
+  EXPECT_EQ(t.server_count(), k * k * k / 4);
+}
+
+TEST_P(TwoStageParam, SameLinkCountAsFatTree) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k + 1);
+  Topology t = build_two_stage_random_graph(k, rng);
+  // Fat-tree and flat-tree have 2 * k * (k/2)^2 links; the two-stage
+  // baseline is built with the same budget (up to one odd leftover port).
+  std::size_t expected = 2u * k * (k / 2) * (k / 2);
+  EXPECT_GE(t.link_count() + 1, expected);
+  EXPECT_LE(t.link_count(), expected);
+}
+
+TEST_P(TwoStageParam, ServersStayInTheirPods) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k + 2);
+  Topology t = build_two_stage_random_graph(k, rng);
+  const std::uint32_t per_pod = k * k / 4;
+  for (ServerId s = 0; s < t.server_count(); ++s) {
+    std::int32_t pod = t.info(t.host(s)).pod;
+    EXPECT_EQ(pod, static_cast<std::int32_t>(s / per_pod));
+  }
+}
+
+TEST_P(TwoStageParam, NoServersOnCores) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k + 3);
+  Topology t = build_two_stage_random_graph(k, rng);
+  for (ServerId s = 0; s < t.server_count(); ++s)
+    EXPECT_NE(t.info(t.host(s)).kind, SwitchKind::Core);
+}
+
+TEST_P(TwoStageParam, IntraPodLinkCountMatchesFlatTree) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k + 4);
+  Topology t = build_two_stage_random_graph(k, rng);
+  // Count links with both endpoints in the same pod: flat-tree keeps its
+  // (k/2)^2 edge-aggregation mesh per pod.
+  std::vector<std::size_t> intra(k, 0);
+  for (const auto& link : t.graph().links()) {
+    std::int32_t pa = t.info(link.a).pod, pb = t.info(link.b).pod;
+    if (pa >= 0 && pa == pb) ++intra[static_cast<std::size_t>(pa)];
+  }
+  for (std::uint32_t pod = 0; pod < k; ++pod)
+    EXPECT_EQ(intra[pod], (k / 2) * (k / 2)) << "pod " << pod;
+}
+
+TEST_P(TwoStageParam, ValidAndConnected) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k + 5);
+  Topology t = build_two_stage_random_graph(k, rng);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST_P(TwoStageParam, UniformServersWithinPods) {
+  const std::uint32_t k = GetParam();
+  util::Rng rng(k + 6);
+  Topology t = build_two_stage_random_graph(k, rng);
+  auto w = t.servers_per_switch();
+  for (graph::NodeId v = 0; v < t.switch_count(); ++v) {
+    if (t.info(v).kind == SwitchKind::Core) {
+      EXPECT_EQ(w[v], 0u);
+    } else {
+      EXPECT_GE(w[v] + 1, k / 4);  // k^2/4 servers over k switches
+      EXPECT_LE(w[v], k / 4 + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoStageParam, ::testing::Values(4u, 6u, 8u, 12u));
+
+TEST(TwoStage, RejectsBadK) {
+  util::Rng rng(1);
+  EXPECT_THROW(build_two_stage_random_graph(5, rng), std::invalid_argument);
+  EXPECT_THROW(build_two_stage_random_graph(2, rng), std::invalid_argument);
+}
+
+TEST(TwoStage, DeterministicGivenSeed) {
+  util::Rng a(99), b(99);
+  Topology t1 = build_two_stage_random_graph(6, a);
+  Topology t2 = build_two_stage_random_graph(6, b);
+  ASSERT_EQ(t1.link_count(), t2.link_count());
+  for (graph::LinkId l = 0; l < t1.link_count(); ++l) {
+    EXPECT_EQ(t1.graph().link(l).a, t2.graph().link(l).a);
+    EXPECT_EQ(t1.graph().link(l).b, t2.graph().link(l).b);
+  }
+}
+
+}  // namespace
+}  // namespace flattree::topo

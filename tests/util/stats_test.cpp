@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flattree::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.min(), 5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, SumMatches) {
+  Accumulator acc;
+  acc.add(1.5);
+  acc.add(2.5);
+  acc.add(-1.0);
+  EXPECT_NEAR(acc.sum(), 3.0, 1e-12);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(Distribution, RejectsEmpty) {
+  EXPECT_THROW(Distribution({}), std::invalid_argument);
+}
+
+TEST(Distribution, QuantilesOfKnownSamples) {
+  Distribution d({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(d.quantile(0.0), 1.0);
+  EXPECT_EQ(d.quantile(1.0), 5.0);
+  EXPECT_EQ(d.median(), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.1), 1.4);  // interpolated
+}
+
+TEST(Distribution, UnsortedInputHandled) {
+  Distribution d({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(d.median(), 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(Distribution, SingleSample) {
+  Distribution d({7.0});
+  EXPECT_EQ(d.quantile(0.0), 7.0);
+  EXPECT_EQ(d.quantile(0.5), 7.0);
+  EXPECT_EQ(d.quantile(1.0), 7.0);
+}
+
+TEST(Percentile, MatchesDistribution) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 + 1.0, 1e-8));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace flattree::util

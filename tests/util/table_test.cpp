@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::util {
+namespace {
+
+TEST(Table, RejectsZeroColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add("x");
+  t.integer(42);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "42");
+}
+
+TEST(Table, NumFormatsWithPrecision) {
+  Table t({"v"});
+  t.begin_row();
+  t.num(3.14159, 2);
+  EXPECT_EQ(t.at(0, 0), "3.14");
+}
+
+TEST(Table, AddBeforeBeginRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a"});
+  t.begin_row();
+  t.add("1");
+  EXPECT_THROW(t.add("2"), std::logic_error);
+}
+
+TEST(Table, AlignedOutputHasHeaderAndSeparator) {
+  Table t({"k", "apl"});
+  t.begin_row();
+  t.integer(4);
+  t.num(5.4667, 3);
+  std::string s = t.to_aligned();
+  EXPECT_NE(s.find("k"), std::string::npos);
+  EXPECT_NE(s.find("apl"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("5.467"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add("1");
+  t.add("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"name"});
+  t.begin_row();
+  t.add("hello, \"world\"");
+  EXPECT_EQ(t.to_csv(), "name\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, ShortRowsPadInAlignedOutput) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add("only");
+  EXPECT_NO_THROW(t.to_aligned());
+  EXPECT_EQ(t.to_csv(), "a,b\nonly\n");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(0.123456, 4), "0.1235");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace flattree::util

@@ -1,0 +1,131 @@
+#include "workload/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flattree::workload {
+namespace {
+
+void check_partition(const std::vector<Cluster>& clusters, std::uint32_t size,
+                     std::uint32_t total) {
+  std::set<ServerId> seen;
+  for (const Cluster& c : clusters) {
+    EXPECT_EQ(c.servers.size(), size);
+    for (ServerId s : c.servers) {
+      EXPECT_LT(s, total);
+      EXPECT_TRUE(seen.insert(s).second) << "server " << s << " in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(total / size) * size);
+}
+
+class PlacementParam : public ::testing::TestWithParam<Placement> {};
+
+TEST_P(PlacementParam, PartitionIsDisjointAndFullSized) {
+  util::Rng rng(1);
+  auto clusters = make_clusters(128, 20, GetParam(), 16, rng);
+  EXPECT_EQ(clusters.size(), 6u);  // floor(128/20)
+  check_partition(clusters, 20, 128);
+}
+
+TEST_P(PlacementParam, ExactDivision) {
+  util::Rng rng(2);
+  auto clusters = make_clusters(100, 20, GetParam(), 25, rng);
+  EXPECT_EQ(clusters.size(), 5u);
+  check_partition(clusters, 20, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PlacementParam,
+                         ::testing::Values(Placement::Locality, Placement::WeakLocality,
+                                           Placement::NoLocality));
+
+TEST(Locality, ClustersAreConsecutive) {
+  util::Rng rng(3);
+  auto clusters = make_clusters(64, 8, Placement::Locality, 16, rng);
+  for (std::size_t c = 0; c < clusters.size(); ++c)
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_EQ(clusters[c].servers[i], c * 8 + i);
+}
+
+TEST(WeakLocality, ClustersStayInOnePodWhenTheyFit) {
+  // Pods of 32 servers, clusters of 8: 8 | 32, so no cluster ever needs to
+  // spill (a pod's free count is always a multiple of the cluster size).
+  util::Rng rng(4);
+  auto clusters = make_clusters(128, 8, Placement::WeakLocality, 32, rng);
+  for (const Cluster& c : clusters) {
+    std::set<std::uint32_t> pods;
+    for (ServerId s : c.servers) pods.insert(s / 32);
+    EXPECT_EQ(pods.size(), 1u);
+  }
+}
+
+TEST(WeakLocality, SpillsWhenClusterExceedsPod) {
+  // Cluster 20 > pod 4: must span pods but still partition correctly.
+  util::Rng rng(5);
+  auto clusters = make_clusters(64, 20, Placement::WeakLocality, 4, rng);
+  EXPECT_EQ(clusters.size(), 3u);
+  check_partition(clusters, 20, 64);
+}
+
+TEST(WeakLocality, UsesVariousPods) {
+  util::Rng rng(6);
+  auto clusters = make_clusters(256, 16, Placement::WeakLocality, 32, rng);
+  std::set<std::uint32_t> first_pods;
+  for (const Cluster& c : clusters) first_pods.insert(c.servers[0] / 32);
+  EXPECT_GT(first_pods.size(), 1u);  // not all clusters in one pod
+}
+
+TEST(NoLocality, SpreadsAcrossNetwork) {
+  util::Rng rng(7);
+  auto clusters = make_clusters(512, 64, Placement::NoLocality, 64, rng);
+  // A random 64-subset of 512 servers across 8 pods almost surely touches
+  // more than 2 pods.
+  for (const Cluster& c : clusters) {
+    std::set<std::uint32_t> pods;
+    for (ServerId s : c.servers) pods.insert(s / 64);
+    EXPECT_GT(pods.size(), 2u);
+  }
+}
+
+TEST(MakeClusters, LeftoverServersIdle) {
+  util::Rng rng(8);
+  auto clusters = make_clusters(50, 20, Placement::Locality, 25, rng);
+  EXPECT_EQ(clusters.size(), 2u);  // 10 servers idle
+}
+
+TEST(MakeClusters, ErrorCases) {
+  util::Rng rng(9);
+  EXPECT_THROW(make_clusters(10, 0, Placement::Locality, 5, rng), std::invalid_argument);
+  EXPECT_THROW(make_clusters(10, 2, Placement::Locality, 0, rng), std::invalid_argument);
+}
+
+TEST(MakeClustersSubset, RestrictsToEligible) {
+  util::Rng rng(10);
+  std::vector<ServerId> eligible;
+  for (ServerId s = 100; s < 140; ++s) eligible.push_back(s);
+  auto clusters = make_clusters_subset(eligible, 10, Placement::NoLocality, 16, rng);
+  EXPECT_EQ(clusters.size(), 4u);
+  for (const Cluster& c : clusters)
+    for (ServerId s : c.servers) {
+      EXPECT_GE(s, 100u);
+      EXPECT_LT(s, 140u);
+    }
+}
+
+TEST(MakeClusters, DeterministicGivenSeed) {
+  util::Rng a(11), b(11);
+  auto c1 = make_clusters(64, 8, Placement::NoLocality, 16, a);
+  auto c2 = make_clusters(64, 8, Placement::NoLocality, 16, b);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i].servers, c2[i].servers);
+}
+
+TEST(Placement, ToStringCoverage) {
+  EXPECT_STREQ(to_string(Placement::Locality), "locality");
+  EXPECT_STREQ(to_string(Placement::WeakLocality), "weak-locality");
+  EXPECT_STREQ(to_string(Placement::NoLocality), "no-locality");
+}
+
+}  // namespace
+}  // namespace flattree::workload
