@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wiring.dir/bench_ablation_wiring.cpp.o"
+  "CMakeFiles/bench_ablation_wiring.dir/bench_ablation_wiring.cpp.o.d"
+  "bench_ablation_wiring"
+  "bench_ablation_wiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_apl_pod.cpp" "bench/CMakeFiles/bench_fig6_apl_pod.dir/bench_fig6_apl_pod.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_apl_pod.dir/bench_fig6_apl_pod.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_apl_pod.dir/bench_fig6_apl_pod.cpp.o"
+  "CMakeFiles/bench_fig6_apl_pod.dir/bench_fig6_apl_pod.cpp.o.d"
+  "bench_fig6_apl_pod"
+  "bench_fig6_apl_pod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_apl_pod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

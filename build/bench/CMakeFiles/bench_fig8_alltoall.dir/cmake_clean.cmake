@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_alltoall.dir/bench_fig8_alltoall.cpp.o"
+  "CMakeFiles/bench_fig8_alltoall.dir/bench_fig8_alltoall.cpp.o.d"
+  "bench_fig8_alltoall"
+  "bench_fig8_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_fct.dir/bench_sim_fct.cpp.o"
+  "CMakeFiles/bench_sim_fct.dir/bench_sim_fct.cpp.o.d"
+  "bench_sim_fct"
+  "bench_sim_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

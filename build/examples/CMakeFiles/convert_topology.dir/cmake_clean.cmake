@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_topology.dir/convert_topology.cpp.o"
+  "CMakeFiles/convert_topology.dir/convert_topology.cpp.o.d"
+  "convert_topology"
+  "convert_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fct_simulation.dir/fct_simulation.cpp.o"
+  "CMakeFiles/fct_simulation.dir/fct_simulation.cpp.o.d"
+  "fct_simulation"
+  "fct_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fct_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_zones.dir/hybrid_zones.cpp.o"
+  "CMakeFiles/hybrid_zones.dir/hybrid_zones.cpp.o.d"
+  "hybrid_zones"
+  "hybrid_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

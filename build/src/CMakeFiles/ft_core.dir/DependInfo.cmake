@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/ft_core.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/converter.cpp" "src/CMakeFiles/ft_core.dir/core/converter.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/converter.cpp.o.d"
+  "/root/repo/src/core/expansion.cpp" "src/CMakeFiles/ft_core.dir/core/expansion.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/expansion.cpp.o.d"
+  "/root/repo/src/core/flat_tree.cpp" "src/CMakeFiles/ft_core.dir/core/flat_tree.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/flat_tree.cpp.o.d"
+  "/root/repo/src/core/pod.cpp" "src/CMakeFiles/ft_core.dir/core/pod.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/pod.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/CMakeFiles/ft_core.dir/core/profile.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/profile.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/ft_core.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/wiring.cpp" "src/CMakeFiles/ft_core.dir/core/wiring.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/wiring.cpp.o.d"
+  "/root/repo/src/core/zones.cpp" "src/CMakeFiles/ft_core.dir/core/zones.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

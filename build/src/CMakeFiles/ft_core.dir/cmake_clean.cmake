@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_core.dir/core/controller.cpp.o"
+  "CMakeFiles/ft_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/converter.cpp.o"
+  "CMakeFiles/ft_core.dir/core/converter.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/expansion.cpp.o"
+  "CMakeFiles/ft_core.dir/core/expansion.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/flat_tree.cpp.o"
+  "CMakeFiles/ft_core.dir/core/flat_tree.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/pod.cpp.o"
+  "CMakeFiles/ft_core.dir/core/pod.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/profile.cpp.o"
+  "CMakeFiles/ft_core.dir/core/profile.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/recovery.cpp.o"
+  "CMakeFiles/ft_core.dir/core/recovery.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/wiring.cpp.o"
+  "CMakeFiles/ft_core.dir/core/wiring.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/zones.cpp.o"
+  "CMakeFiles/ft_core.dir/core/zones.cpp.o.d"
+  "libft_core.a"
+  "libft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

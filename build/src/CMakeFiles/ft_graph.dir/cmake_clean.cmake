@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/ft_graph.dir/graph/bfs.cpp.o.d"
+  "CMakeFiles/ft_graph.dir/graph/dijkstra.cpp.o"
+  "CMakeFiles/ft_graph.dir/graph/dijkstra.cpp.o.d"
+  "CMakeFiles/ft_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ft_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ft_graph.dir/graph/ksp.cpp.o"
+  "CMakeFiles/ft_graph.dir/graph/ksp.cpp.o.d"
+  "CMakeFiles/ft_graph.dir/graph/metrics.cpp.o"
+  "CMakeFiles/ft_graph.dir/graph/metrics.cpp.o.d"
+  "libft_graph.a"
+  "libft_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

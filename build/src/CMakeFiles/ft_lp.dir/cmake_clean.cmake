@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/ft_lp.dir/lp/simplex.cpp.o.d"
+  "libft_lp.a"
+  "libft_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

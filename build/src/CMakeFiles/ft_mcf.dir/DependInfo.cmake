@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcf/commodity.cpp" "src/CMakeFiles/ft_mcf.dir/mcf/commodity.cpp.o" "gcc" "src/CMakeFiles/ft_mcf.dir/mcf/commodity.cpp.o.d"
+  "/root/repo/src/mcf/garg_koenemann.cpp" "src/CMakeFiles/ft_mcf.dir/mcf/garg_koenemann.cpp.o" "gcc" "src/CMakeFiles/ft_mcf.dir/mcf/garg_koenemann.cpp.o.d"
+  "/root/repo/src/mcf/lp_exact.cpp" "src/CMakeFiles/ft_mcf.dir/mcf/lp_exact.cpp.o" "gcc" "src/CMakeFiles/ft_mcf.dir/mcf/lp_exact.cpp.o.d"
+  "/root/repo/src/mcf/max_flow.cpp" "src/CMakeFiles/ft_mcf.dir/mcf/max_flow.cpp.o" "gcc" "src/CMakeFiles/ft_mcf.dir/mcf/max_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

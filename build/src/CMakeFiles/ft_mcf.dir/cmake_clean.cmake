@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_mcf.dir/mcf/commodity.cpp.o"
+  "CMakeFiles/ft_mcf.dir/mcf/commodity.cpp.o.d"
+  "CMakeFiles/ft_mcf.dir/mcf/garg_koenemann.cpp.o"
+  "CMakeFiles/ft_mcf.dir/mcf/garg_koenemann.cpp.o.d"
+  "CMakeFiles/ft_mcf.dir/mcf/lp_exact.cpp.o"
+  "CMakeFiles/ft_mcf.dir/mcf/lp_exact.cpp.o.d"
+  "CMakeFiles/ft_mcf.dir/mcf/max_flow.cpp.o"
+  "CMakeFiles/ft_mcf.dir/mcf/max_flow.cpp.o.d"
+  "libft_mcf.a"
+  "libft_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/ecmp.cpp" "src/CMakeFiles/ft_routing.dir/routing/ecmp.cpp.o" "gcc" "src/CMakeFiles/ft_routing.dir/routing/ecmp.cpp.o.d"
+  "/root/repo/src/routing/fib.cpp" "src/CMakeFiles/ft_routing.dir/routing/fib.cpp.o" "gcc" "src/CMakeFiles/ft_routing.dir/routing/fib.cpp.o.d"
+  "/root/repo/src/routing/ksp_routing.cpp" "src/CMakeFiles/ft_routing.dir/routing/ksp_routing.cpp.o" "gcc" "src/CMakeFiles/ft_routing.dir/routing/ksp_routing.cpp.o.d"
+  "/root/repo/src/routing/paths.cpp" "src/CMakeFiles/ft_routing.dir/routing/paths.cpp.o" "gcc" "src/CMakeFiles/ft_routing.dir/routing/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

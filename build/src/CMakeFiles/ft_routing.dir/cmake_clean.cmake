@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_routing.dir/routing/ecmp.cpp.o"
+  "CMakeFiles/ft_routing.dir/routing/ecmp.cpp.o.d"
+  "CMakeFiles/ft_routing.dir/routing/fib.cpp.o"
+  "CMakeFiles/ft_routing.dir/routing/fib.cpp.o.d"
+  "CMakeFiles/ft_routing.dir/routing/ksp_routing.cpp.o"
+  "CMakeFiles/ft_routing.dir/routing/ksp_routing.cpp.o.d"
+  "CMakeFiles/ft_routing.dir/routing/paths.cpp.o"
+  "CMakeFiles/ft_routing.dir/routing/paths.cpp.o.d"
+  "libft_routing.a"
+  "libft_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fair_share.cpp" "src/CMakeFiles/ft_sim.dir/sim/fair_share.cpp.o" "gcc" "src/CMakeFiles/ft_sim.dir/sim/fair_share.cpp.o.d"
+  "/root/repo/src/sim/flow_gen.cpp" "src/CMakeFiles/ft_sim.dir/sim/flow_gen.cpp.o" "gcc" "src/CMakeFiles/ft_sim.dir/sim/flow_gen.cpp.o.d"
+  "/root/repo/src/sim/flow_sim.cpp" "src/CMakeFiles/ft_sim.dir/sim/flow_sim.cpp.o" "gcc" "src/CMakeFiles/ft_sim.dir/sim/flow_sim.cpp.o.d"
+  "/root/repo/src/sim/packet_sim.cpp" "src/CMakeFiles/ft_sim.dir/sim/packet_sim.cpp.o" "gcc" "src/CMakeFiles/ft_sim.dir/sim/packet_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_sim.dir/sim/fair_share.cpp.o"
+  "CMakeFiles/ft_sim.dir/sim/fair_share.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/sim/flow_gen.cpp.o"
+  "CMakeFiles/ft_sim.dir/sim/flow_gen.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/sim/flow_sim.cpp.o"
+  "CMakeFiles/ft_sim.dir/sim/flow_sim.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/sim/packet_sim.cpp.o"
+  "CMakeFiles/ft_sim.dir/sim/packet_sim.cpp.o.d"
+  "libft_sim.a"
+  "libft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

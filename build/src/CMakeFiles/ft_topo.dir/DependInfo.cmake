@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/apl.cpp" "src/CMakeFiles/ft_topo.dir/topo/apl.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/apl.cpp.o.d"
+  "/root/repo/src/topo/dot.cpp" "src/CMakeFiles/ft_topo.dir/topo/dot.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/dot.cpp.o.d"
+  "/root/repo/src/topo/fat_tree.cpp" "src/CMakeFiles/ft_topo.dir/topo/fat_tree.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/random_graph.cpp" "src/CMakeFiles/ft_topo.dir/topo/random_graph.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/random_graph.cpp.o.d"
+  "/root/repo/src/topo/serialize.cpp" "src/CMakeFiles/ft_topo.dir/topo/serialize.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/serialize.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/ft_topo.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/two_stage.cpp" "src/CMakeFiles/ft_topo.dir/topo/two_stage.cpp.o" "gcc" "src/CMakeFiles/ft_topo.dir/topo/two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_topo.dir/topo/apl.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/apl.cpp.o.d"
+  "CMakeFiles/ft_topo.dir/topo/dot.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/dot.cpp.o.d"
+  "CMakeFiles/ft_topo.dir/topo/fat_tree.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/fat_tree.cpp.o.d"
+  "CMakeFiles/ft_topo.dir/topo/random_graph.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/random_graph.cpp.o.d"
+  "CMakeFiles/ft_topo.dir/topo/serialize.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/serialize.cpp.o.d"
+  "CMakeFiles/ft_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/topology.cpp.o.d"
+  "CMakeFiles/ft_topo.dir/topo/two_stage.cpp.o"
+  "CMakeFiles/ft_topo.dir/topo/two_stage.cpp.o.d"
+  "libft_topo.a"
+  "libft_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_util.dir/util/cli.cpp.o"
+  "CMakeFiles/ft_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/log.cpp.o"
+  "CMakeFiles/ft_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ft_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ft_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/table.cpp.o"
+  "CMakeFiles/ft_util.dir/util/table.cpp.o.d"
+  "libft_util.a"
+  "libft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

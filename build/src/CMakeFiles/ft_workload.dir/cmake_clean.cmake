@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_workload.dir/workload/cluster.cpp.o"
+  "CMakeFiles/ft_workload.dir/workload/cluster.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/workload/traffic.cpp.o"
+  "CMakeFiles/ft_workload.dir/workload/traffic.cpp.o.d"
+  "libft_workload.a"
+  "libft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/controller_test.cpp" "tests/CMakeFiles/core_test.dir/core/controller_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "/root/repo/tests/core/converter_test.cpp" "tests/CMakeFiles/core_test.dir/core/converter_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/converter_test.cpp.o.d"
+  "/root/repo/tests/core/expansion_test.cpp" "tests/CMakeFiles/core_test.dir/core/expansion_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/expansion_test.cpp.o.d"
+  "/root/repo/tests/core/flat_tree_test.cpp" "tests/CMakeFiles/core_test.dir/core/flat_tree_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/flat_tree_test.cpp.o.d"
+  "/root/repo/tests/core/generic_flat_tree_test.cpp" "tests/CMakeFiles/core_test.dir/core/generic_flat_tree_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/generic_flat_tree_test.cpp.o.d"
+  "/root/repo/tests/core/modes_test.cpp" "tests/CMakeFiles/core_test.dir/core/modes_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/modes_test.cpp.o.d"
+  "/root/repo/tests/core/pod_test.cpp" "tests/CMakeFiles/core_test.dir/core/pod_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pod_test.cpp.o.d"
+  "/root/repo/tests/core/profile_test.cpp" "tests/CMakeFiles/core_test.dir/core/profile_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/profile_test.cpp.o.d"
+  "/root/repo/tests/core/recovery_test.cpp" "tests/CMakeFiles/core_test.dir/core/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/recovery_test.cpp.o.d"
+  "/root/repo/tests/core/side_diversity_test.cpp" "tests/CMakeFiles/core_test.dir/core/side_diversity_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/side_diversity_test.cpp.o.d"
+  "/root/repo/tests/core/wiring_test.cpp" "tests/CMakeFiles/core_test.dir/core/wiring_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/wiring_test.cpp.o.d"
+  "/root/repo/tests/core/zones_test.cpp" "tests/CMakeFiles/core_test.dir/core/zones_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/zones_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

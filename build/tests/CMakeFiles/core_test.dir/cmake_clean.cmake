@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/converter_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/converter_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/expansion_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/expansion_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/flat_tree_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/flat_tree_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/generic_flat_tree_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/generic_flat_tree_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/modes_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/modes_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pod_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pod_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/profile_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/profile_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/recovery_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/recovery_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/side_diversity_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/side_diversity_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/wiring_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/wiring_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/zones_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/zones_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

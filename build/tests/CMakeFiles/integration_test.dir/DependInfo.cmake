@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/full_stack_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/full_stack_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/full_stack_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

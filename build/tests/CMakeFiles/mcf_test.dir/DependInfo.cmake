@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mcf/commodity_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf/commodity_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf/commodity_test.cpp.o.d"
+  "/root/repo/tests/mcf/cross_validation_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/mcf/garg_koenemann_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf/garg_koenemann_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf/garg_koenemann_test.cpp.o.d"
+  "/root/repo/tests/mcf/lp_exact_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf/lp_exact_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf/lp_exact_test.cpp.o.d"
+  "/root/repo/tests/mcf/max_flow_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf/max_flow_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf/max_flow_test.cpp.o.d"
+  "/root/repo/tests/mcf/topology_validation_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf/topology_validation_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf/topology_validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

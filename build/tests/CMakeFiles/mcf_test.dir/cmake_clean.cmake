@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_test.dir/mcf/commodity_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf/commodity_test.cpp.o.d"
+  "CMakeFiles/mcf_test.dir/mcf/cross_validation_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf/cross_validation_test.cpp.o.d"
+  "CMakeFiles/mcf_test.dir/mcf/garg_koenemann_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf/garg_koenemann_test.cpp.o.d"
+  "CMakeFiles/mcf_test.dir/mcf/lp_exact_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf/lp_exact_test.cpp.o.d"
+  "CMakeFiles/mcf_test.dir/mcf/max_flow_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf/max_flow_test.cpp.o.d"
+  "CMakeFiles/mcf_test.dir/mcf/topology_validation_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf/topology_validation_test.cpp.o.d"
+  "mcf_test"
+  "mcf_test.pdb"
+  "mcf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

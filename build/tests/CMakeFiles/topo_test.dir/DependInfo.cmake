@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topo/apl_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/apl_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/apl_test.cpp.o.d"
+  "/root/repo/tests/topo/dot_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/dot_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/dot_test.cpp.o.d"
+  "/root/repo/tests/topo/fat_tree_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/fat_tree_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/fat_tree_test.cpp.o.d"
+  "/root/repo/tests/topo/generic_clos_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/generic_clos_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/generic_clos_test.cpp.o.d"
+  "/root/repo/tests/topo/random_graph_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/random_graph_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/random_graph_test.cpp.o.d"
+  "/root/repo/tests/topo/serialize_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/serialize_test.cpp.o.d"
+  "/root/repo/tests/topo/topology_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/topology_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/topology_test.cpp.o.d"
+  "/root/repo/tests/topo/two_stage_test.cpp" "tests/CMakeFiles/topo_test.dir/topo/two_stage_test.cpp.o" "gcc" "tests/CMakeFiles/topo_test.dir/topo/two_stage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

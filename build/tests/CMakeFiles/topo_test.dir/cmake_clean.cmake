@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_test.dir/topo/apl_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/apl_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/dot_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/dot_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/fat_tree_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/fat_tree_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/generic_clos_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/generic_clos_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/random_graph_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/random_graph_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/serialize_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/serialize_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/topology_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/topology_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/two_stage_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/two_stage_test.cpp.o.d"
+  "topo_test"
+  "topo_test.pdb"
+  "topo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
