@@ -15,11 +15,14 @@ using namespace flattree;
 int main(int argc, char** argv) {
   std::int64_t kmax = 20, kstep = 4;
   bool dump = false;
+  std::int64_t threads = 0;
   util::CliParser cli("Ablation: fine-grained (m, n) profiling.");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_bool("dump", &dump, "print every sweep point, not just the optima");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   util::Table table({"k", "best m", "best n", "best APL", "paper m", "paper n",
                      "paper APL", "gap %"});

@@ -32,10 +32,13 @@ double apl_for(std::uint32_t k, core::WiringPattern pattern, core::PodChain chai
 
 int main(int argc, char** argv) {
   std::int64_t kmax = 32, kstep = 2;
+  std::int64_t threads = 0;
   util::CliParser cli("Ablation: wiring pattern and pod-chain topology (global RG APL).");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   util::Table table({"k", "pattern1 ring", "pattern2 ring", "auto ring", "auto pattern",
                      "auto linear"});

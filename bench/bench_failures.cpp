@@ -17,6 +17,7 @@ using namespace flattree;
 int main(int argc, char** argv) {
   std::int64_t k = 8, max_failures = 8, seeds = 2, seed = 1, cluster = 40;
   double eps = 0.12;
+  std::int64_t threads = 0;
   util::CliParser cli("Extension: failure recovery by reconversion.");
   cli.add_int("k", &k, "fat-tree parameter");
   cli.add_int("max-failures", &max_failures, "largest number of failed core switches");
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   cli.add_int("seeds", &seeds, "failure draws to average");
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   const std::uint32_t ku = static_cast<std::uint32_t>(k);
   core::FlatTreeNetwork net = bench::profiled_network(ku);

@@ -35,13 +35,22 @@ double flat_tree_apl(std::uint32_t k, std::uint32_t m, std::uint32_t n) {
 
 int main(int argc, char** argv) {
   std::int64_t kmax = 32, kstep = 2, seed = 1, rg_seeds = 1;
+  std::int64_t threads = 0;
+  bool full = false;
   util::CliParser cli(
       "Figure 5 reproduction: network-wide server-pair average path length vs k.");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_int("seed", &seed, "random graph seed");
   cli.add_int("rg-seeds", &rg_seeds, "random-graph draws to average");
+  cli.add_bool("full", &full, "paper-scale sweep (k to 32 step 2; the default already is)");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
+  if (full) {
+    kmax = 32;
+    kstep = 2;
+  }
 
   // The paper's five flat-tree settings, as (m multiplier, n multiplier)
   // in units of k/8.

@@ -32,12 +32,15 @@ std::vector<std::vector<topo::ServerId>> pod_groups(std::uint32_t k) {
 
 int main(int argc, char** argv) {
   std::int64_t kmax = 32, kstep = 2, seed = 1;
+  std::int64_t threads = 0;
   util::CliParser cli(
       "Figure 6 reproduction: intra-pod server-pair average path length vs k.");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_int("seed", &seed, "random graph seed");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   util::Table table({"k", "flat-tree(local)", "fat-tree", "random-graph",
                      "two-stage-random"});

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::int64_t kmax = 16, kstep = 4, cluster = 1000, seeds = 3, seed = 1;
   double eps = 0.12;
   bool full = false;
+  std::int64_t threads = 0;
   util::CliParser cli(
       "Figure 7 reproduction: broadcast/incast throughput in 1000-server clusters.");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
   cli.add_bool("full", &full, "paper-scale sweep (k to 32 step 2; slow)");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
   if (full) {
     kmax = 32;
     kstep = 2;

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                l_cluster = 16;
   double eps = 0.12;
   bool full = false;
+  std::int64_t threads = 0;
   util::CliParser cli("Section 3.4 reproduction: hybrid-mode zone segregation.");
   cli.add_int("k", &k, "fat-tree parameter (paper uses 30)");
   cli.add_int("step", &step_percent, "zone proportion step in percent");
@@ -57,7 +58,9 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
   cli.add_bool("full", &full, "paper-scale run: k = 30, 10% steps (slow)");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
   if (full) {
     k = 30;
     step_percent = 10;

@@ -1,10 +1,29 @@
 // Microbenchmarks (google-benchmark): cost of the primitives behind the
 // figure harnesses — topology construction, conversion, BFS/APL, and the
-// max-concurrent-flow solver.
+// max-concurrent-flow solver — plus serial-vs-parallel versions of the two
+// embarrassingly parallel kernels (per-source BFS APSP/APL and the
+// Garg-Koenemann commodity phase).
+//
+// Besides the google-benchmark suite, `--exec-json <path>` runs a fixed
+// serial-vs-parallel sweep and writes machine-readable results
+// (k, threads, wall-ms, speedup, determinism check) so the perf trajectory
+// of the exec runtime is tracked per PR:
+//
+//   $ ./bench_micro --exec-json ../BENCH_exec.json
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "core/controller.hpp"
+#include "exec/parallel_for.hpp"
+#include "graph/bfs.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "topo/apl.hpp"
 #include "topo/fat_tree.hpp"
@@ -44,6 +63,32 @@ void BM_ServerApl(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerApl)->Arg(8)->Arg(16)->Arg(24);
 
+// Serial vs parallel: args are {k, threads}. The same kernel runs on a
+// global pool of the given size; results are bit-identical across rows.
+void BM_ServerAplThreads(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  exec::set_global_threads(static_cast<unsigned>(state.range(1)));
+  topo::FatTree ft = topo::build_fat_tree(k);
+  for (auto _ : state) benchmark::DoNotOptimize(topo::server_apl(ft.topo));
+  exec::set_global_threads(1);
+}
+BENCHMARK(BM_ServerAplThreads)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({24, 1})
+    ->Args({24, 4})
+    ->UseRealTime();
+
+void BM_ApspThreads(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  exec::set_global_threads(static_cast<unsigned>(state.range(1)));
+  topo::FatTree ft = topo::build_fat_tree(k);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::apsp_distances(ft.topo.graph()));
+  exec::set_global_threads(1);
+}
+BENCHMARK(BM_ApspThreads)->Args({16, 1})->Args({16, 2})->Args({16, 4})->UseRealTime();
+
 void BM_ConversionPlan(benchmark::State& state) {
   const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
   core::FlatTreeConfig cfg;
@@ -53,16 +98,22 @@ void BM_ConversionPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_ConversionPlan)->Arg(8)->Arg(16);
 
+std::vector<mcf::Commodity> broadcast_commodities(const topo::Topology& topo,
+                                                  std::uint32_t k,
+                                                  std::uint32_t cluster) {
+  util::Rng rng(11);
+  auto clusters = workload::make_clusters(
+      static_cast<std::uint32_t>(topo.server_count()),
+      std::min<std::uint32_t>(cluster, static_cast<std::uint32_t>(topo.server_count())),
+      workload::Placement::Locality, k * k / 4, rng);
+  auto demands = workload::cluster_traffic(clusters, workload::Pattern::Broadcast, rng);
+  return mcf::aggregate_to_switches(topo, demands);
+}
+
 void BM_MaxConcurrentFlowBroadcast(benchmark::State& state) {
   const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
   topo::FatTree ft = topo::build_fat_tree(k);
-  util::Rng rng(11);
-  auto clusters = workload::make_clusters(
-      static_cast<std::uint32_t>(ft.topo.server_count()),
-      std::min<std::uint32_t>(100, static_cast<std::uint32_t>(ft.topo.server_count())),
-      workload::Placement::Locality, k * k / 4, rng);
-  auto demands = workload::cluster_traffic(clusters, workload::Pattern::Broadcast, rng);
-  auto commodities = mcf::aggregate_to_switches(ft.topo, demands);
+  auto commodities = broadcast_commodities(ft.topo, k, 100);
   mcf::McfOptions opt;
   opt.epsilon = 0.15;
   opt.compute_upper_bound = false;
@@ -71,6 +122,133 @@ void BM_MaxConcurrentFlowBroadcast(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxConcurrentFlowBroadcast)->Arg(8)->Arg(12);
 
+void BM_MaxConcurrentFlowThreads(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  exec::set_global_threads(static_cast<unsigned>(state.range(1)));
+  topo::FatTree ft = topo::build_fat_tree(k);
+  auto commodities = broadcast_commodities(ft.topo, k, 100);
+  mcf::McfOptions opt;
+  opt.epsilon = 0.15;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mcf::max_concurrent_flow(ft.topo.graph(), commodities, opt));
+  exec::set_global_threads(1);
+}
+BENCHMARK(BM_MaxConcurrentFlowThreads)->Args({12, 1})->Args({12, 2})->Args({12, 4})->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// --exec-json sweep: fixed workloads timed at several thread counts.
+
+double wall_ms(const std::function<void()>& fn) {
+  // Best of three: wall-clock on a shared machine is noisy and we want the
+  // achievable time, not the mean of the noise.
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct ExecEntry {
+  std::string bench;
+  std::uint32_t k;
+  unsigned threads;
+  double ms;
+  double speedup;
+  bool identical;  ///< result bit-identical to the threads=1 run
+};
+
+int run_exec_sweep(const std::string& path) {
+  const std::vector<unsigned> thread_counts{1, 2, 4, 8};
+  std::vector<ExecEntry> entries;
+
+  // APL/APSP kernel (the Figure 5/6 hot path).
+  for (std::uint32_t k : {16u, 24u}) {
+    topo::FatTree ft = topo::build_fat_tree(k);
+    double base_ms = 0.0, base_apl = 0.0;
+    for (unsigned t : thread_counts) {
+      exec::set_global_threads(t);
+      double apl = 0.0;
+      double ms = wall_ms([&] { apl = topo::server_apl(ft.topo).average; });
+      if (t == 1) {
+        base_ms = ms;
+        base_apl = apl;
+      }
+      entries.push_back({"apl_fat_tree", k, t, ms, base_ms / ms, apl == base_apl});
+    }
+  }
+
+  // Garg-Koenemann broadcast throughput (the Figure 7/8 hot path).
+  for (std::uint32_t k : {8u, 12u}) {
+    topo::FatTree ft = topo::build_fat_tree(k);
+    auto commodities = broadcast_commodities(ft.topo, k, 100);
+    mcf::McfOptions opt;
+    opt.epsilon = 0.12;
+    double base_ms = 0.0, base_lo = 0.0, base_up = 0.0;
+    for (unsigned t : thread_counts) {
+      exec::set_global_threads(t);
+      double lo = 0.0, up = 0.0;
+      double ms = wall_ms([&] {
+        auto r = mcf::max_concurrent_flow(ft.topo.graph(), commodities, opt);
+        lo = r.lambda_lower;
+        up = r.lambda_upper;
+      });
+      if (t == 1) {
+        base_ms = ms;
+        base_lo = lo;
+        base_up = up;
+      }
+      entries.push_back(
+          {"gk_broadcast", k, t, ms, base_ms / ms, lo == base_lo && up == base_up});
+    }
+  }
+  exec::set_global_threads(1);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"entries\": [\n",
+               exec::hardware_threads());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ExecEntry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"bench\": \"%s\", \"k\": %u, \"threads\": %u, "
+                 "\"wall_ms\": %.3f, \"speedup\": %.3f, \"identical\": %s}%s\n",
+                 e.bench.c_str(), e.k, e.threads, e.ms, e.speedup,
+                 e.identical ? "true" : "false", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+  bool all_identical = true;
+  for (const ExecEntry& e : entries) all_identical = all_identical && e.identical;
+  std::printf("determinism across thread counts: %s\n", all_identical ? "OK" : "BROKEN");
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --exec-json[=| ]<path> before google-benchmark sees the args.
+  std::string exec_json;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--exec-json=", 12) == 0) {
+      exec_json = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--exec-json") == 0 && i + 1 < argc) {
+      exec_json = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!exec_json.empty()) return run_exec_sweep(exec_json);
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -20,6 +20,7 @@ using namespace flattree;
 int main(int argc, char** argv) {
   std::int64_t pods = 8, d = 4, r = 2, h = 4, seeds = 3, seed = 1, cluster = 60;
   double eps = 0.12;
+  std::int64_t threads = 0;
   util::CliParser cli("Extension: flat-tree conversion of oversubscribed Clos.");
   cli.add_int("pods", &pods, "number of pods");
   cli.add_int("d", &d, "edge switches per pod");
@@ -29,7 +30,9 @@ int main(int argc, char** argv) {
   cli.add_int("seeds", &seeds, "hot-spot draws to average");
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   const std::uint32_t base_uplinks =
       static_cast<std::uint32_t>(h) / static_cast<std::uint32_t>(r);

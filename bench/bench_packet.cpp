@@ -37,13 +37,16 @@ void run_case(util::Table& table, const char* name, const topo::Topology& t,
 int main(int argc, char** argv) {
   std::int64_t k = 8, train = 24, seed = 1, queue = 16;
   double nic_rate = 4.0;
+  std::int64_t threads = 0;
   util::CliParser cli("Extension: packet-level burst behavior across conversions.");
   cli.add_int("k", &k, "fat-tree parameter");
   cli.add_int("train", &train, "packets per flow (burst length)");
   cli.add_int("queue", &queue, "output queue capacity in packets");
   cli.add_double("nic-rate", &nic_rate, "injection rate vs unit link capacity");
   cli.add_int("seed", &seed, "RNG seed for the permutation");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   const std::uint32_t ku = static_cast<std::uint32_t>(k);
   topo::FatTree ft = topo::build_fat_tree(ku);

@@ -45,12 +45,15 @@ void report(util::Table& table, const std::string& name, const topo::Topology& t
 int main(int argc, char** argv) {
   std::int64_t k = 8, flows = 2000, seed = 1;
   double load = 4.0;
+  std::int64_t threads = 0;
   util::CliParser cli("Extension: flow-level FCT for routing/topology pairings.");
   cli.add_int("k", &k, "fat-tree parameter");
   cli.add_int("flows", &flows, "number of flows to simulate");
   cli.add_double("load", &load, "Poisson arrival rate (flows per unit time)");
   cli.add_int("seed", &seed, "RNG seed");
+  bench::add_threads_flag(cli, &threads);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  bench::apply_threads(threads);
 
   const std::uint32_t ku = static_cast<std::uint32_t>(k);
   topo::FatTree ft = topo::build_fat_tree(ku);

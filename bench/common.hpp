@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/flat_tree.hpp"
+#include "exec/parallel_for.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -18,6 +19,20 @@
 #include "workload/traffic.hpp"
 
 namespace flattree::bench {
+
+/// Registers the shared `--threads` flag (every bench grows one). 0 means
+/// the exec default: FLATTREE_THREADS env var, else hardware concurrency.
+inline void add_threads_flag(util::CliParser& cli, std::int64_t* threads) {
+  cli.add_int("threads", threads,
+              "execution threads (0 = FLATTREE_THREADS env / hardware concurrency)");
+}
+
+/// Installs the requested global pool size after flag parsing. All results
+/// are bit-identical at any thread count (see DESIGN.md, Parallel
+/// execution) — this knob only changes wall-clock time.
+inline void apply_threads(std::int64_t threads) {
+  exec::set_global_threads(threads > 0 ? static_cast<unsigned>(threads) : 0);
+}
 
 /// Throughput lambda for a server-level demand set on a topology
 /// (switch-aggregated max concurrent flow, certified lower bound).
@@ -35,21 +50,33 @@ inline double throughput(const topo::Topology& topo,
 }
 
 /// Cluster workload -> demands, averaged over `seeds` placements; returns
-/// the mean lambda.
+/// the mean lambda. Placements are independent, so the seed loop fans out
+/// over the exec pool: each seed keeps its own Rng(seed_base + s) exactly
+/// as the sequential loop did, and partial sums reduce in seed order, so
+/// the mean is bit-identical at any thread count. (The GK solver inside
+/// each seed then runs its tree precompute sequentially — nested parallel
+/// regions degrade to seq — which keeps the parallelism at the widest,
+/// cheapest level.)
 inline double mean_cluster_throughput(const topo::Topology& topo, std::uint32_t cluster_size,
                                       workload::Placement placement,
                                       workload::Pattern pattern,
                                       std::uint32_t servers_per_pod, double epsilon,
                                       std::uint64_t seed_base, std::uint32_t seeds) {
-  double sum = 0.0;
-  for (std::uint32_t s = 0; s < seeds; ++s) {
-    util::Rng rng(seed_base + s);
-    auto clusters = workload::make_clusters(
-        static_cast<std::uint32_t>(topo.server_count()), cluster_size, placement,
-        servers_per_pod, rng);
-    auto demands = workload::cluster_traffic(clusters, pattern, rng);
-    sum += throughput(topo, demands, epsilon);
-  }
+  double sum = exec::parallel_reduce(
+      seeds, /*grain=*/1, 0.0,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        double part = 0.0;
+        for (std::size_t s = begin; s < end; ++s) {
+          util::Rng rng(seed_base + s);
+          auto clusters = workload::make_clusters(
+              static_cast<std::uint32_t>(topo.server_count()), cluster_size, placement,
+              servers_per_pod, rng);
+          auto demands = workload::cluster_traffic(clusters, pattern, rng);
+          part += throughput(topo, demands, epsilon);
+        }
+        return part;
+      },
+      [](double acc, double part) { return acc + part; });
   return sum / static_cast<double>(seeds);
 }
 

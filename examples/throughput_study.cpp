@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/flat_tree.hpp"
+#include "exec/parallel_for.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/random_graph.hpp"
@@ -22,7 +23,7 @@
 using namespace flattree;
 
 int main(int argc, char** argv) {
-  std::int64_t k = 8, seed = 1, cluster_big = 100, cluster_small = 20;
+  std::int64_t k = 8, seed = 1, cluster_big = 100, cluster_small = 20, threads = 0;
   double eps = 0.08;
   util::CliParser cli("Throughput study with optimality certificates.");
   cli.add_int("k", &k, "fat-tree parameter");
@@ -30,7 +31,10 @@ int main(int argc, char** argv) {
   cli.add_int("big-cluster", &cluster_big, "broadcast cluster size");
   cli.add_int("small-cluster", &cluster_small, "all-to-all cluster size");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
+  cli.add_int("threads", &threads,
+              "execution threads (0 = FLATTREE_THREADS env / hardware concurrency)");
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  exec::set_global_threads(threads > 0 ? static_cast<unsigned>(threads) : 0);
 
   const std::uint32_t ku = static_cast<std::uint32_t>(k);
   const std::uint32_t per_pod = ku * ku / 4;

@@ -1,0 +1,25 @@
+#include "exec/parallel_for.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace flattree::exec {
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_global_threads(unsigned threads) {
+  std::lock_guard lock(g_pool_mutex);
+  if (g_pool && g_pool->threads() == (threads == 0 ? default_threads() : threads)) return;
+  g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace flattree::exec

@@ -1,0 +1,118 @@
+#include "exec/thread_pool.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace flattree::exec {
+
+namespace {
+
+thread_local bool t_in_task = false;
+
+/// RAII marker for "this thread is executing pool chunks".
+struct TaskScope {
+  TaskScope() { t_in_task = true; }
+  ~TaskScope() { t_in_task = false; }
+};
+
+}  // namespace
+
+unsigned hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned default_threads() {
+  if (const char* env = std::getenv("FLATTREE_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+  }
+  return hardware_threads();
+}
+
+bool ThreadPool::in_task() { return t_in_task; }
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::work(const std::function<void(std::size_t)>& fn) {
+  TaskScope scope;
+  for (;;) {
+    std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks_ || abort_.load(std::memory_order_relaxed)) return;
+    try {
+      fn(c);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::unique_lock lock(mutex_);
+      job_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      fn = job_;
+    }
+    work(*fn);
+    {
+      std::lock_guard lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
+  if (t_in_task)
+    throw std::logic_error(
+        "ThreadPool::run: nested parallel call from inside a pool task "
+        "(use exec::parallel_for, which falls back to sequential)");
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    // Sequential fallback: same chunk order as the deterministic reduction,
+    // no synchronization. Exceptions propagate directly.
+    TaskScope scope;
+    for (std::size_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    chunks_ = chunks;
+    cursor_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = static_cast<unsigned>(workers_.size());
+    ++job_id_;
+  }
+  job_cv_.notify_all();
+  work(fn);  // the caller is one of the execution threads
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace flattree::exec

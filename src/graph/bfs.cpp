@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/parallel_for.hpp"
+
 namespace flattree::graph {
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
@@ -42,6 +44,14 @@ std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
       }
     }
   }
+  return dist;
+}
+
+std::vector<std::vector<std::uint32_t>> apsp_distances(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> dist(g.node_count());
+  exec::parallel_for(g.node_count(), [&](std::size_t u) {
+    dist[u] = bfs_distances(g, static_cast<NodeId>(u));
+  });
   return dist;
 }
 

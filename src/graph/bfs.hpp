@@ -19,6 +19,11 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
 std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
                                                   const std::vector<char>& allowed);
 
+/// All-pairs hop distances, one BFS per source fanned out over the exec
+/// pool (sequential at 1 thread). Row u is bfs_distances(g, u); the result
+/// is identical at any thread count. O(V * (V + E)) work, O(V^2) memory.
+std::vector<std::vector<std::uint32_t>> apsp_distances(const Graph& g);
+
 /// BFS tree: parent arc per node (kInvalidLink at source/unreached).
 struct BfsTree {
   std::vector<std::uint32_t> dist;

@@ -1,15 +1,41 @@
 #include "graph/graph.hpp"
 
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace flattree::graph {
 
 Graph::Graph(std::size_t node_count) : node_count_(node_count) {}
 
+Graph::Graph(const Graph& other)
+    : node_count_(other.node_count_), links_(other.links_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    node_count_ = other.node_count_;
+    links_ = other.links_;
+    csr_valid_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : node_count_(other.node_count_), links_(std::move(other.links_)) {}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    node_count_ = other.node_count_;
+    links_ = std::move(other.links_);
+    csr_valid_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 NodeId Graph::add_nodes(std::size_t count) {
   NodeId first = static_cast<NodeId>(node_count_);
   node_count_ += count;
-  csr_valid_ = false;
+  csr_valid_.store(false, std::memory_order_relaxed);
   return first;
 }
 
@@ -19,7 +45,7 @@ LinkId Graph::add_link(NodeId a, NodeId b, double capacity) {
   if (a == b) throw std::invalid_argument("Graph::add_link: self-loop");
   if (capacity <= 0.0) throw std::invalid_argument("Graph::add_link: non-positive capacity");
   links_.push_back(Link{a, b, capacity});
-  csr_valid_ = false;
+  csr_valid_.store(false, std::memory_order_relaxed);
   return static_cast<LinkId>(links_.size() - 1);
 }
 
@@ -42,12 +68,23 @@ void Graph::build_csr() const {
     csr_arcs_[cursor[l.a]++] = Arc{l.b, id};
     csr_arcs_[cursor[l.b]++] = Arc{l.a, id};
   }
-  csr_valid_ = true;
+}
+
+void Graph::ensure_csr() const {
+  // Double-checked lazy build: concurrent readers (parallel BFS/Dijkstra
+  // workers sharing one Graph) may race to the first neighbors() call. The
+  // release-store publishes the vectors filled under the lock; the acquire
+  // load in the fast path synchronizes with it.
+  if (csr_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_valid_.load(std::memory_order_relaxed)) return;
+  build_csr();
+  csr_valid_.store(true, std::memory_order_release);
 }
 
 std::span<const Arc> Graph::neighbors(NodeId node) const {
   if (node >= node_count_) throw std::out_of_range("Graph::neighbors: node out of range");
-  if (!csr_valid_) build_csr();
+  ensure_csr();
   return {csr_arcs_.data() + csr_offset_[node], csr_offset_[node + 1] - csr_offset_[node]};
 }
 

@@ -7,7 +7,9 @@
 // each link as a pair of opposing arcs with the full link capacity each
 // (full-duplex), which is the standard model in DCN throughput studies.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -41,6 +43,14 @@ class Graph {
   Graph() = default;
   explicit Graph(std::size_t node_count);
 
+  // Copies/moves transfer the structure but not the CSR cache (it is
+  // rebuilt lazily); required because the cache guard members are neither
+  // copyable nor movable.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+
   /// Appends `count` fresh nodes, returning the id of the first.
   NodeId add_nodes(std::size_t count);
 
@@ -56,8 +66,14 @@ class Graph {
   std::size_t degree(NodeId node) const;
 
   /// Arcs leaving `node`. Builds the CSR index lazily on first use;
-  /// adding links afterwards invalidates and rebuilds it.
+  /// adding links afterwards invalidates and rebuilds it. The lazy build
+  /// is thread-safe, so read-only algorithms (BFS, Dijkstra, Yen) may run
+  /// concurrently on a shared Graph; mutation (add_nodes/add_link) is NOT
+  /// safe against concurrent readers.
   std::span<const Arc> neighbors(NodeId node) const;
+
+  /// Forces the CSR build now (also done implicitly by neighbors()).
+  void ensure_csr() const;
 
   /// True if a link (possibly one of several) joins a and b.
   bool connected(NodeId a, NodeId b) const;
@@ -71,8 +87,11 @@ class Graph {
   std::size_t node_count_ = 0;
   std::vector<Link> links_;
 
-  // Lazily built CSR adjacency.
-  mutable bool csr_valid_ = false;
+  // Lazily built CSR adjacency. csr_valid_ is the double-checked guard:
+  // readers acquire-load it; the builder publishes the vectors with a
+  // release-store under csr_mutex_.
+  mutable std::mutex csr_mutex_;
+  mutable std::atomic<bool> csr_valid_{false};
   mutable std::vector<std::uint32_t> csr_offset_;
   mutable std::vector<Arc> csr_arcs_;
 };

@@ -2,11 +2,27 @@
 
 #include <stdexcept>
 
+#include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
 
 namespace flattree::graph {
 
 namespace {
+
+/// Per-source partial of the APL accumulation; combined in source order so
+/// the long-double sum is bit-identical at any thread count.
+struct AplPartial {
+  long double total = 0.0L;
+  std::uint64_t pairs = 0;
+  std::uint32_t max_dist = 0;
+
+  AplPartial& operator+=(const AplPartial& o) {
+    total += o.total;
+    pairs += o.pairs;
+    max_dist = std::max(max_dist, o.max_dist);
+    return *this;
+  }
+};
 
 AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
                          const std::vector<char>* member, bool confine_paths,
@@ -14,42 +30,53 @@ AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weigh
   if (weight.size() != g.node_count())
     throw std::invalid_argument("weighted_apl: weight size mismatch");
 
-  // Unordered pairs: iterate sources in id order and count only targets
-  // with a larger id, plus same-node pairs once.
-  long double total = 0.0L;
-  std::uint64_t pairs = 0;
-  std::uint32_t max_dist = 0;
+  const std::size_t n = g.node_count();
+  // Unordered pairs: each source u contributes targets with a larger id,
+  // plus its same-node pairs once. One BFS per weighted source, fanned out
+  // over the pool; per-source partials reduce in source order.
+  AplPartial sum = exec::parallel_reduce(
+      n, /*grain=*/1, AplPartial{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        AplPartial part;
+        for (std::size_t s = begin; s < end; ++s) {
+          NodeId u = static_cast<NodeId>(s);
+          if (weight[u] == 0) continue;
+          if (member != nullptr && !(*member)[u]) continue;
+          // Same-node server pairs.
+          std::uint64_t wu = weight[u];
+          if (wu >= 2) {
+            std::uint64_t p = wu * (wu - 1) / 2;
+            part.total += static_cast<long double>(p) * same_node_dist;
+            part.pairs += p;
+            part.max_dist = std::max(part.max_dist, same_node_dist);
+          }
+          std::vector<std::uint32_t> dist =
+              confine_paths && member != nullptr ? bfs_distances_filtered(g, u, *member)
+                                                 : bfs_distances(g, u);
+          for (NodeId v = u + 1; v < g.node_count(); ++v) {
+            if (weight[v] == 0) continue;
+            if (member != nullptr && !(*member)[v]) continue;
+            if (dist[v] == kUnreachable)
+              throw std::runtime_error("weighted_apl: weighted pair disconnected");
+            std::uint64_t p = wu * weight[v];
+            std::uint32_t d = dist[v] + offset;
+            part.total += static_cast<long double>(p) * d;
+            part.pairs += p;
+            part.max_dist = std::max(part.max_dist, d);
+          }
+        }
+        return part;
+      },
+      [](AplPartial acc, AplPartial part) {
+        acc += part;
+        return acc;
+      });
 
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    if (weight[u] == 0) continue;
-    if (member != nullptr && !(*member)[u]) continue;
-    // Same-node server pairs.
-    std::uint64_t wu = weight[u];
-    if (wu >= 2) {
-      std::uint64_t p = wu * (wu - 1) / 2;
-      total += static_cast<long double>(p) * same_node_dist;
-      pairs += p;
-      max_dist = std::max(max_dist, same_node_dist);
-    }
-    std::vector<std::uint32_t> dist =
-        confine_paths && member != nullptr ? bfs_distances_filtered(g, u, *member)
-                                           : bfs_distances(g, u);
-    for (NodeId v = u + 1; v < g.node_count(); ++v) {
-      if (weight[v] == 0) continue;
-      if (member != nullptr && !(*member)[v]) continue;
-      if (dist[v] == kUnreachable)
-        throw std::runtime_error("weighted_apl: weighted pair disconnected");
-      std::uint64_t p = wu * weight[v];
-      std::uint32_t d = dist[v] + offset;
-      total += static_cast<long double>(p) * d;
-      pairs += p;
-      max_dist = std::max(max_dist, d);
-    }
-  }
   AplResult r;
-  r.pairs = pairs;
-  r.max_dist = max_dist;
-  r.average = pairs ? static_cast<double>(total / static_cast<long double>(pairs)) : 0.0;
+  r.pairs = sum.pairs;
+  r.max_dist = sum.max_dist;
+  r.average =
+      sum.pairs ? static_cast<double>(sum.total / static_cast<long double>(sum.pairs)) : 0.0;
   return r;
 }
 
@@ -69,29 +96,50 @@ AplResult weighted_apl_subset(const Graph& g, const std::vector<std::uint32_t>& 
 }
 
 double unweighted_apl(const Graph& g) {
-  long double total = 0.0L;
-  std::uint64_t pairs = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    auto dist = bfs_distances(g, u);
-    for (NodeId v = u + 1; v < g.node_count(); ++v) {
-      if (dist[v] == kUnreachable) continue;
-      total += dist[v];
-      ++pairs;
-    }
-  }
-  return pairs ? static_cast<double>(total / static_cast<long double>(pairs)) : 0.0;
+  struct Partial {
+    long double total = 0.0L;
+    std::uint64_t pairs = 0;
+  };
+  Partial sum = exec::parallel_reduce(
+      g.node_count(), /*grain=*/1, Partial{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        Partial part;
+        for (std::size_t s = begin; s < end; ++s) {
+          NodeId u = static_cast<NodeId>(s);
+          auto dist = bfs_distances(g, u);
+          for (NodeId v = u + 1; v < g.node_count(); ++v) {
+            if (dist[v] == kUnreachable) continue;
+            part.total += dist[v];
+            ++part.pairs;
+          }
+        }
+        return part;
+      },
+      [](Partial acc, Partial part) {
+        acc.total += part.total;
+        acc.pairs += part.pairs;
+        return acc;
+      });
+  return sum.pairs ? static_cast<double>(sum.total / static_cast<long double>(sum.pairs))
+                   : 0.0;
 }
 
 std::uint32_t diameter(const Graph& g) {
-  std::uint32_t best = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    auto dist = bfs_distances(g, u);
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (dist[v] == kUnreachable) throw std::runtime_error("diameter: graph disconnected");
-      best = std::max(best, dist[v]);
-    }
-  }
-  return best;
+  return exec::parallel_reduce(
+      g.node_count(), /*grain=*/1, std::uint32_t{0},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::uint32_t best = 0;
+        for (std::size_t s = begin; s < end; ++s) {
+          auto dist = bfs_distances(g, static_cast<NodeId>(s));
+          for (NodeId v = 0; v < g.node_count(); ++v) {
+            if (dist[v] == kUnreachable)
+              throw std::runtime_error("diameter: graph disconnected");
+            best = std::max(best, dist[v]);
+          }
+        }
+        return best;
+      },
+      [](std::uint32_t acc, std::uint32_t part) { return std::max(acc, part); });
 }
 
 std::vector<std::size_t> degree_histogram(const Graph& g) {

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "exec/parallel_for.hpp"
+
 namespace flattree::mcf {
 
 namespace {
@@ -118,15 +120,27 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     routed[gi].assign(groups[gi].targets.size(), 0.0);
 
   McfResult result;
-  Tree tree;
+  std::vector<Tree> trees(groups.size());
   std::vector<std::uint32_t> path;  // arcs target<-...<-source (reverse order)
 
   bool done = false;
   while (!done && d_sum < 1.0 && result.phases < options.max_phases) {
+    // The per-source shortest-path trees of this phase are independent
+    // reads of the phase-start length function — the embarrassingly
+    // parallel half of each Garg-Koenemann iteration. They are computed
+    // from identical inputs at any thread count, and the augmentation loop
+    // below stays sequential across groups, so the FPTAS certificate and
+    // every reported number are thread-count-invariant. Groups whose trees
+    // go stale while earlier groups route flow are caught by Fleischer's
+    // re-pricing rule and recomputed locally, exactly as before.
+    exec::parallel_for(groups.size(), [&](std::size_t gi) {
+      dijkstra(net, groups[gi].src, length, trees[gi]);
+    });
+    result.dijkstra_runs += groups.size();
+
     for (std::size_t gi = 0; gi < groups.size() && !done; ++gi) {
       const SourceGroup& grp = groups[gi];
-      dijkstra(net, grp.src, length, tree);
-      ++result.dijkstra_runs;
+      Tree& tree = trees[gi];
       std::vector<double> dist_at_compute = tree.dist;
 
       for (std::size_t ti = 0; ti < grp.targets.size() && !done; ++ti) {
@@ -186,14 +200,24 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     for (double& f : result.arc_flow) f /= congestion;
 
   // Dual bound under the final lengths: lambda* <= D(l) / alpha(l).
+  // One read-only Dijkstra per source group, fanned out over the pool;
+  // per-group alpha partials reduce in group order (deterministic).
   result.lambda_upper = kInf;
   if (options.compute_upper_bound) {
-    double alpha = 0.0;
-    for (const SourceGroup& grp : groups) {
-      dijkstra(net, grp.src, length, tree);
-      ++result.dijkstra_runs;
-      for (auto [target, demand] : grp.targets) alpha += demand * tree.dist[target];
-    }
+    double alpha = exec::parallel_reduce(
+        groups.size(), /*grain=*/1, 0.0,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          double part = 0.0;
+          Tree local;
+          for (std::size_t gi = begin; gi < end; ++gi) {
+            dijkstra(net, groups[gi].src, length, local);
+            for (auto [target, demand] : groups[gi].targets)
+              part += demand * local.dist[target];
+          }
+          return part;
+        },
+        [](double acc, double part) { return acc + part; });
+    result.dijkstra_runs += groups.size();
     if (alpha > 0.0) result.lambda_upper = d_sum / alpha;
   }
   return result;

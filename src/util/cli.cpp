@@ -92,10 +92,18 @@ bool CliParser::parse(int argc, char** argv) {
       has_value = true;
     }
     const Flag* flag = find(body);
-    if (flag == nullptr && !has_value && body.rfind("no-", 0) == 0) {
-      // `--no-name` form for booleans.
+    if (flag == nullptr && body.rfind("no-", 0) == 0) {
+      // `--no-name` form for booleans. `--no-name=value` is contradictory
+      // (which wins?) so it gets its own error instead of "unknown flag".
       const Flag* base = find(body.substr(3));
       if (base != nullptr && base->kind == Kind::Bool) {
+        if (has_value) {
+          std::fprintf(stderr,
+                       "flag '--%s' does not take a value (use --%s=0|1 instead)\n",
+                       body.c_str(), body.substr(3).c_str());
+          exit_code_ = 2;
+          return false;
+        }
         *static_cast<bool*>(base->target) = false;
         continue;
       }

@@ -72,6 +72,10 @@ double Rng::exponential(double rate) {
 
 bool Rng::chance(double p) { return uniform() < p; }
 
+Rng Rng::substream(std::uint64_t seed, std::uint64_t stream) {
+  return Rng(mix64(seed ^ mix64(0x9e3779b97f4a7c15ULL * (stream + 1))));
+}
+
 Rng Rng::split() {
   // Two fresh outputs feed a new seed; splitmix64's avalanche decorrelates.
   std::uint64_t s = (*this)() ^ rotl((*this)(), 31);

@@ -66,6 +66,14 @@ class Rng {
   /// streams) without correlating with this generator's future output.
   Rng split();
 
+  /// Deterministic per-task substream: the generator for stream index `i`
+  /// of experiment seed `seed`. Unlike split(), this is a pure function of
+  /// (seed, stream) — parallel loops seed chunk i with
+  /// `Rng::substream(seed, i)` so results are identical at any thread count
+  /// and chunk execution order. Decorrelation comes from two splitmix64
+  /// avalanche rounds over the (seed, stream) pair.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

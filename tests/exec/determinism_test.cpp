@@ -1,0 +1,158 @@
+// Thread-count invariance of the parallelized evaluation kernels: every
+// number a bench reports must be bit-identical at --threads 1, 2, and 8.
+// These tests run each kernel under global pools of those sizes and compare
+// results with exact (bitwise) equality — no tolerances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+#include "graph/bfs.hpp"
+#include "mcf/commodity.hpp"
+#include "mcf/garg_koenemann.hpp"
+#include "routing/ksp_routing.hpp"
+#include "topo/apl.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/rng.hpp"
+#include "workload/cluster.hpp"
+#include "workload/traffic.hpp"
+
+namespace flattree {
+namespace {
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+/// Restores a single-thread global pool when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { exec::set_global_threads(1); }
+};
+
+TEST(Determinism, WeightedAplBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  topo::FatTree ft = topo::build_fat_tree(8);
+
+  exec::set_global_threads(1);
+  graph::AplResult base = topo::server_apl(ft.topo);
+  EXPECT_GT(base.average, 0.0);
+
+  for (unsigned threads : kThreadCounts) {
+    exec::set_global_threads(threads);
+    graph::AplResult r = topo::server_apl(ft.topo);
+    EXPECT_EQ(r.average, base.average) << "threads=" << threads;
+    EXPECT_EQ(r.pairs, base.pairs);
+    EXPECT_EQ(r.max_dist, base.max_dist);
+  }
+}
+
+TEST(Determinism, ApspMatchesSerialBfs) {
+  PoolGuard guard;
+  topo::FatTree ft = topo::build_fat_tree(6);
+  const graph::Graph& g = ft.topo.graph();
+
+  exec::set_global_threads(8);
+  auto apsp = graph::apsp_distances(g);
+  ASSERT_EQ(apsp.size(), g.node_count());
+  for (graph::NodeId u = 0; u < g.node_count(); ++u)
+    EXPECT_EQ(apsp[u], graph::bfs_distances(g, u));
+}
+
+TEST(Determinism, KspPathDbBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  topo::FatTree ft = topo::build_fat_tree(4);
+  const graph::Graph& g = ft.topo.graph();
+
+  exec::set_global_threads(1);
+  routing::KspRouting base(g, /*k=*/8);
+  base.precompute_all_pairs();
+
+  for (unsigned threads : kThreadCounts) {
+    exec::set_global_threads(threads);
+    routing::KspRouting r(g, /*k=*/8);
+    r.precompute_all_pairs();
+    ASSERT_EQ(r.cached_pairs(), base.cached_pairs());
+    for (graph::NodeId s = 0; s < g.node_count(); ++s) {
+      for (graph::NodeId d = 0; d < g.node_count(); ++d) {
+        if (s == d) continue;
+        const auto& pa = base.paths(s, d);
+        const auto& pb = r.paths(s, d);
+        ASSERT_EQ(pa.size(), pb.size());
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+          EXPECT_EQ(pa[i].nodes, pb[i].nodes);
+          EXPECT_EQ(pa[i].links, pb[i].links);
+        }
+      }
+    }
+  }
+}
+
+std::vector<mcf::Commodity> broadcast_commodities(const topo::Topology& topo,
+                                                  std::uint32_t k) {
+  util::Rng rng(11);
+  auto clusters = workload::make_clusters(
+      static_cast<std::uint32_t>(topo.server_count()),
+      std::min<std::uint32_t>(60, static_cast<std::uint32_t>(topo.server_count())),
+      workload::Placement::Locality, k * k / 4, rng);
+  auto demands = workload::cluster_traffic(clusters, workload::Pattern::Broadcast, rng);
+  return mcf::aggregate_to_switches(topo, demands);
+}
+
+TEST(Determinism, GargKoenemannBoundsBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  topo::FatTree ft = topo::build_fat_tree(6);
+  auto commodities = broadcast_commodities(ft.topo, 6);
+  mcf::McfOptions opt;
+  opt.epsilon = 0.1;
+
+  exec::set_global_threads(1);
+  mcf::McfResult base = mcf::max_concurrent_flow(ft.topo.graph(), commodities, opt);
+  EXPECT_GT(base.lambda_lower, 0.0);
+
+  for (unsigned threads : kThreadCounts) {
+    exec::set_global_threads(threads);
+    mcf::McfResult r = mcf::max_concurrent_flow(ft.topo.graph(), commodities, opt);
+    EXPECT_EQ(r.lambda_lower, base.lambda_lower) << "threads=" << threads;
+    EXPECT_EQ(r.lambda_upper, base.lambda_upper) << "threads=" << threads;
+    EXPECT_EQ(r.max_congestion, base.max_congestion);
+    EXPECT_EQ(r.phases, base.phases);
+    EXPECT_EQ(r.augmentations, base.augmentations);
+    EXPECT_EQ(r.dijkstra_runs, base.dijkstra_runs);
+    EXPECT_EQ(r.arc_flow, base.arc_flow);  // exact per-arc equality
+  }
+}
+
+TEST(Determinism, ExceptionFromParallelKernelPropagates) {
+  PoolGuard guard;
+  // A disconnected weighted pair must throw out of the parallel APL loop at
+  // any thread count.
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  std::vector<std::uint32_t> weight{1, 1, 1, 1};
+  for (unsigned threads : kThreadCounts) {
+    exec::set_global_threads(threads);
+    EXPECT_THROW(graph::weighted_apl(g, weight, 2, 2), std::runtime_error);
+  }
+}
+
+TEST(Determinism, SubstreamSeedingIndependentOfChunkSchedule) {
+  PoolGuard guard;
+  // The canonical parallel randomized-loop pattern: chunk i draws from
+  // Rng::substream(seed, i). The collected draws must not depend on the
+  // thread count.
+  auto draws_at = [](unsigned threads) {
+    exec::set_global_threads(threads);
+    std::vector<std::uint64_t> out(64);
+    exec::parallel_for(out.size(), [&](std::size_t i) {
+      util::Rng rng = util::Rng::substream(123, i);
+      out[i] = rng();
+    });
+    return out;
+  };
+  auto base = draws_at(1);
+  EXPECT_EQ(draws_at(2), base);
+  EXPECT_EQ(draws_at(8), base);
+}
+
+}  // namespace
+}  // namespace flattree

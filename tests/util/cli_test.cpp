@@ -131,6 +131,44 @@ TEST(Cli, UsageListsFlagsAndDefaults) {
   EXPECT_NE(usage.find("default: 12"), std::string::npos);
 }
 
+TEST(Cli, EqualsFormWorksForEveryKind) {
+  // `--flag=value` must behave exactly like `--flag value` for all kinds —
+  // bench scripts rely on `--threads=8` style.
+  std::int64_t threads = 0;
+  double eps = 0.1;
+  bool full = false;
+  std::string out = "a";
+  CliParser cli("test");
+  cli.add_int("threads", &threads, "threads");
+  cli.add_double("eps", &eps, "eps");
+  cli.add_bool("full", &full, "full");
+  cli.add_string("out", &out, "out");
+  Argv a({"prog", "--threads=8", "--eps=0.25", "--full=true", "--out=b.csv"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(threads, 8);
+  EXPECT_DOUBLE_EQ(eps, 0.25);
+  EXPECT_TRUE(full);
+  EXPECT_EQ(out, "b.csv");
+}
+
+TEST(Cli, EmptyEqualsValueRejectedForNumbers) {
+  std::int64_t k = 4;
+  CliParser cli("test");
+  cli.add_int("k", &k, "k");
+  Argv a({"prog", "--k="});
+  EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.exit_code(), 2);
+}
+
+TEST(Cli, NoFormRejectsValue) {
+  bool full = false;
+  CliParser cli("test");
+  cli.add_bool("full", &full, "full");
+  Argv a({"prog", "--no-full=true"});
+  EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.exit_code(), 2);
+}
+
 TEST(Cli, NegativeNumbersParse) {
   std::int64_t v = 0;
   CliParser cli("test");

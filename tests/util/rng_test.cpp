@@ -143,5 +143,27 @@ TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   SUCCEED();
 }
 
+TEST(Rng, SubstreamIsPureFunctionOfSeedAndStream) {
+  Rng a = Rng::substream(42, 7);
+  Rng b = Rng::substream(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SubstreamsDecorrelated) {
+  // Different stream indices (and different seeds) must give different
+  // sequences; adjacent indices are the common parallel-loop case.
+  Rng s0 = Rng::substream(42, 0);
+  Rng s1 = Rng::substream(42, 1);
+  Rng other_seed = Rng::substream(43, 0);
+  int equal01 = 0, equal_seed = 0;
+  for (int i = 0; i < 64; ++i) {
+    std::uint64_t a = s0();
+    if (a == s1()) ++equal01;
+    if (a == other_seed()) ++equal_seed;
+  }
+  EXPECT_EQ(equal01, 0);
+  EXPECT_EQ(equal_seed, 0);
+}
+
 }  // namespace
 }  // namespace flattree::util
