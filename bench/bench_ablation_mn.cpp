@@ -21,8 +21,12 @@ int main(int argc, char** argv) {
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_bool("dump", &dump, "print every sweep point, not just the optima");
   bench::add_threads_flag(cli, &threads);
+  bench::ObsFlags obsf;
+  bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::ObsScope obs_run(obsf, argc, argv);
+  obs_run.set_int("threads", threads);
 
   util::Table table({"k", "best m", "best n", "best APL", "paper m", "paper n",
                      "paper APL", "gap %"});

@@ -45,8 +45,13 @@ int main(int argc, char** argv) {
   cli.add_int("rg-seeds", &rg_seeds, "random-graph draws to average");
   cli.add_bool("full", &full, "paper-scale sweep (k to 32 step 2; the default already is)");
   bench::add_threads_flag(cli, &threads);
+  bench::ObsFlags obsf;
+  bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::ObsScope obs_run(obsf, argc, argv);
+  obs_run.set_int("threads", threads);
+  obs_run.set_int("seed", seed);
   if (full) {
     kmax = 32;
     kstep = 2;

@@ -39,8 +39,13 @@ int main(int argc, char** argv) {
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_int("seed", &seed, "random graph seed");
   bench::add_threads_flag(cli, &threads);
+  bench::ObsFlags obsf;
+  bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::ObsScope obs_run(obsf, argc, argv);
+  obs_run.set_int("threads", threads);
+  obs_run.set_int("seed", seed);
 
   util::Table table({"k", "flat-tree(local)", "fat-tree", "random-graph",
                      "two-stage-random"});

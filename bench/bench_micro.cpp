@@ -24,6 +24,7 @@
 #include "core/controller.hpp"
 #include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
+#include "obs/obs.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "topo/apl.hpp"
 #include "topo/fat_tree.hpp"
@@ -233,17 +234,32 @@ int run_exec_sweep(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --exec-json[=| ]<path> before google-benchmark sees the args.
-  std::string exec_json;
+  // Peel off --exec-json / --metrics-json / --trace ([=| ]<path> forms)
+  // before google-benchmark sees the args.
+  std::string exec_json, metrics_json, trace_path;
+  auto peel = [&](const char* flag, std::string* out, int& i) {
+    std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      *out = argv[i] + len + 1;
+      return true;
+    }
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      *out = argv[++i];
+      return true;
+    }
+    return false;
+  };
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--exec-json=", 12) == 0) {
-      exec_json = argv[i] + 12;
-    } else if (std::strcmp(argv[i], "--exec-json") == 0 && i + 1 < argc) {
-      exec_json = argv[++i];
-    } else {
-      rest.push_back(argv[i]);
-    }
+    if (peel("--exec-json", &exec_json, i) ||
+        peel("--metrics-json", &metrics_json, i) || peel("--trace", &trace_path, i))
+      continue;
+    rest.push_back(argv[i]);
+  }
+  obs::RunSession obs_run(argc, argv, metrics_json, trace_path);
+  if (obs_run.active()) {
+    obs::set_enabled(true);
+    if (!trace_path.empty()) obs::start_tracing();
   }
   if (!exec_json.empty()) return run_exec_sweep(exec_json);
   int rest_argc = static_cast<int>(rest.size());

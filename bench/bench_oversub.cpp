@@ -31,8 +31,14 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
   bench::add_threads_flag(cli, &threads);
+  bench::ObsFlags obsf;
+  bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::ObsScope obs_run(obsf, argc, argv);
+  obs_run.set_int("threads", threads);
+  obs_run.set_int("seed", seed);
+  obs_run.set_double("eps", eps);
 
   const std::uint32_t base_uplinks =
       static_cast<std::uint32_t>(h) / static_cast<std::uint32_t>(r);

@@ -52,8 +52,13 @@ int main(int argc, char** argv) {
   cli.add_double("load", &load, "Poisson arrival rate (flows per unit time)");
   cli.add_int("seed", &seed, "RNG seed");
   bench::add_threads_flag(cli, &threads);
+  bench::ObsFlags obsf;
+  bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::ObsScope obs_run(obsf, argc, argv);
+  obs_run.set_int("threads", threads);
+  obs_run.set_int("seed", seed);
 
   const std::uint32_t ku = static_cast<std::uint32_t>(k);
   topo::FatTree ft = topo::build_fat_tree(ku);

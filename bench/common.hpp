@@ -12,6 +12,7 @@
 #include "core/flat_tree.hpp"
 #include "exec/parallel_for.hpp"
 #include "mcf/garg_koenemann.hpp"
+#include "obs/obs.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -19,6 +20,52 @@
 #include "workload/traffic.hpp"
 
 namespace flattree::bench {
+
+/// Paths for the shared observability flags. Empty = that output disabled.
+struct ObsFlags {
+  std::string metrics_json;  ///< --metrics-json=PATH: run manifest
+  std::string trace;         ///< --trace=PATH: JSON-lines span trace
+};
+
+/// Registers `--metrics-json` and `--trace` (every bench grows both).
+inline void add_obs_flags(util::CliParser& cli, ObsFlags* flags) {
+  cli.add_string("metrics-json", &flags->metrics_json,
+                 "write a JSON run manifest (argv, seed, metrics) to this path");
+  cli.add_string("trace", &flags->trace,
+                 "write a JSON-lines span trace to this path");
+}
+
+/// Owns the observability side of a bench run. Construct right after flag
+/// parsing; when either path was requested this enables metrics collection
+/// (and tracing, if asked for) and writes the files at scope exit. With no
+/// paths this is inert and the bench's stdout is byte-identical to a build
+/// without the flags.
+class ObsScope {
+ public:
+  ObsScope(const ObsFlags& flags, int argc, char** argv)
+      : session_(argc, argv, flags.metrics_json, flags.trace) {
+    if (session_.active()) {
+      obs::set_enabled(true);
+      if (!flags.trace.empty()) obs::start_tracing();
+    }
+  }
+
+  /// Manifest fields (seed, threads, epsilon, ...); no-ops when inactive.
+  void set_int(const std::string& key, std::int64_t value) {
+    if (session_.active()) session_.set_int(key, value);
+  }
+  void set_double(const std::string& key, double value) {
+    if (session_.active()) session_.set_double(key, value);
+  }
+  void set_string(const std::string& key, const std::string& value) {
+    if (session_.active()) session_.set_string(key, value);
+  }
+
+  obs::RunSession& session() { return session_; }
+
+ private:
+  obs::RunSession session_;  ///< writes manifest + trace on destruction
+};
 
 /// Registers the shared `--threads` flag (every bench grows one). 0 means
 /// the exec default: FLATTREE_THREADS env var, else hardware concurrency.

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace flattree::core {
+
+namespace {
+
+obs::Counter c_plans("core.controller.plans");
+obs::Counter c_applies("core.controller.applies");
+obs::Counter c_steps("core.controller.conversion_steps");
+obs::Counter c_links_added("core.controller.links_added");
+obs::Counter c_links_removed("core.controller.links_removed");
+obs::Counter c_servers_moved("core.controller.servers_moved");
+
+}  // namespace
 
 Controller::Controller(FlatTreeConfig config)
     : net_(config),
@@ -28,6 +42,7 @@ std::map<std::pair<topo::NodeId, topo::NodeId>, std::size_t> link_multiset(
 
 ReconfigPlan Controller::diff(const std::vector<ConverterConfig>& from,
                               const std::vector<ConverterConfig>& to) const {
+  OBS_SPAN("core.reconfig.diff");
   ReconfigPlan plan;
   for (std::uint32_t i = 0; i < from.size(); ++i)
     if (from[i] != to[i]) plan.steps.push_back({i, from[i], to[i]});
@@ -49,10 +64,15 @@ ReconfigPlan Controller::diff(const std::vector<ConverterConfig>& from,
   }
   for (topo::ServerId s = 0; s < before.server_count(); ++s)
     if (before.host(s) != after.host(s)) ++plan.servers_moved;
+  c_steps.add(plan.steps.size());
+  c_links_added.add(plan.links_added);
+  c_links_removed.add(plan.links_removed);
+  c_servers_moved.add(plan.servers_moved);
   return plan;
 }
 
 ReconfigPlan Controller::plan(const std::vector<Mode>& target) const {
+  c_plans.inc();
   return diff(configs_, net_.assign_configs(target));
 }
 
@@ -61,6 +81,7 @@ ReconfigPlan Controller::plan(Mode target) const {
 }
 
 ReconfigPlan Controller::apply(const std::vector<Mode>& target) {
+  c_applies.inc();
   auto next = net_.assign_configs(target);
   ReconfigPlan executed = diff(configs_, next);
   configs_ = std::move(next);

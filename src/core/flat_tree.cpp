@@ -3,7 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace flattree::core {
+
+namespace {
+
+obs::Counter c_builds("core.flat_tree.builds");
+obs::Counter c_materializations("core.flat_tree.materializations");
+
+}  // namespace
 
 const char* to_string(Mode mode) {
   switch (mode) {
@@ -52,6 +62,7 @@ FlatTreeNetwork::FlatTreeNetwork(const topo::ClosParams& params, std::uint32_t m
 }
 
 void FlatTreeNetwork::init() {
+  c_builds.inc();
   layout_ = PodLayout(params_, config_.m, config_.n);  // validates m + n bounds
   pattern_ = resolve_pattern(config_.pattern, params_.pods(), config_.m,
                              params_.h() / params_.r());
@@ -172,6 +183,8 @@ std::vector<ConverterConfig> FlatTreeNetwork::assign_configs(Mode mode) const {
 
 topo::Topology FlatTreeNetwork::materialize(
     const std::vector<ConverterConfig>& configs) const {
+  OBS_SPAN("core.flat_tree.materialize");
+  c_materializations.inc();
   std::string err = validate_assignment(converters_, configs);
   if (!err.empty()) throw std::invalid_argument("materialize: " + err);
 

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace flattree::core {
+
+namespace {
+
+obs::Counter c_failures_applied("core.recovery.failure_sets_applied");
+obs::Counter c_failed_links("core.recovery.failed_links");
+obs::Counter c_recovery_plans("core.recovery.plans");
+obs::Counter c_rewired("core.recovery.converters_rewired");
+
+}  // namespace
 
 bool FailureSet::contains(NodeId node) const {
   return std::find(failed_switches.begin(), failed_switches.end(), node) !=
@@ -10,6 +22,8 @@ bool FailureSet::contains(NodeId node) const {
 }
 
 DegradedTopology apply_failures(const topo::Topology& source, const FailureSet& failures) {
+  OBS_SPAN("core.recovery.apply_failures");
+  c_failures_applied.inc();
   DegradedTopology out;
   std::vector<char> failed(source.switch_count(), 0);
   for (NodeId node : failures.failed_switches)
@@ -33,6 +47,7 @@ DegradedTopology apply_failures(const topo::Topology& source, const FailureSet& 
     out.topo.add_server(host);
     if (failed[host]) out.stranded_servers.push_back(s);
   }
+  c_failed_links.add(out.failed_links);
   return out;
 }
 
@@ -63,6 +78,8 @@ ConverterConfig safe_standalone(const Converter& c, const FailureSet& failures) 
 std::vector<ConverterConfig> plan_recovery(const FlatTreeNetwork& net,
                                            const std::vector<ConverterConfig>& configs,
                                            const FailureSet& failures) {
+  OBS_SPAN("core.recovery.plan");
+  c_recovery_plans.inc();
   std::vector<ConverterConfig> recovered = configs;
   const auto& converters = net.converters();
   for (std::uint32_t i = 0; i < converters.size(); ++i) {
@@ -80,6 +97,12 @@ std::vector<ConverterConfig> plan_recovery(const FlatTreeNetwork& net,
     } else if (failures.contains(server_home(c, cfg))) {
       recovered[i] = safe_standalone(c, failures);
     }
+  }
+  if (obs::enabled()) {
+    std::uint64_t rewired = 0;
+    for (std::uint32_t i = 0; i < converters.size(); ++i)
+      if (recovered[i] != configs[i]) ++rewired;
+    c_rewired.add(rewired);
   }
   return recovered;
 }

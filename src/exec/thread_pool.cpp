@@ -1,12 +1,30 @@
 #include "exec/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace flattree::exec {
 
 namespace {
+
+obs::Counter c_jobs("exec.pool.jobs");
+obs::Gauge g_threads("exec.pool.threads");
+obs::Counter c_chunks("exec.pool.chunks");
+obs::Counter c_busy_ns("exec.pool.busy_ns");
+obs::Histogram h_worker_busy("exec.pool.worker_busy_ms",
+                             obs::Histogram::exponential_bounds(0.01, 4.0, 12));
+
+std::uint64_t busy_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 thread_local bool t_in_task = false;
 
@@ -52,16 +70,31 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work(const std::function<void(std::size_t)>& fn) {
   TaskScope scope;
+  // Observability: count chunks executed by this thread and the time spent
+  // claiming+executing them ("busy", as opposed to waiting for a job), then
+  // merge this thread's metric shard so a snapshot taken after run()
+  // returns already sees everything. All of it is skipped when disabled.
+  const bool observe = obs::enabled();
+  const std::uint64_t t0 = observe ? busy_clock_ns() : 0;
+  std::uint64_t executed = 0;
   for (;;) {
     std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
-    if (c >= chunks_ || abort_.load(std::memory_order_relaxed)) return;
+    if (c >= chunks_ || abort_.load(std::memory_order_relaxed)) break;
     try {
       fn(c);
+      ++executed;
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!error_) error_ = std::current_exception();
       abort_.store(true, std::memory_order_relaxed);
     }
+  }
+  if (observe) {
+    std::uint64_t busy = busy_clock_ns() - t0;
+    c_chunks.add(executed);
+    c_busy_ns.add(busy);
+    h_worker_busy.observe(static_cast<double>(busy) / 1e6);
+    obs::flush_thread_metrics();
   }
 }
 
@@ -90,11 +123,22 @@ void ThreadPool::run(std::size_t chunks, const std::function<void(std::size_t)>&
         "ThreadPool::run: nested parallel call from inside a pool task "
         "(use exec::parallel_for, which falls back to sequential)");
   if (chunks == 0) return;
+  OBS_SPAN("exec.run");
+  c_jobs.inc();
+  g_threads.set(threads());
   if (workers_.empty() || chunks == 1) {
     // Sequential fallback: same chunk order as the deterministic reduction,
     // no synchronization. Exceptions propagate directly.
+    const bool observe = obs::enabled();
+    const std::uint64_t t0 = observe ? busy_clock_ns() : 0;
     TaskScope scope;
     for (std::size_t c = 0; c < chunks; ++c) fn(c);
+    if (observe) {
+      std::uint64_t busy = busy_clock_ns() - t0;
+      c_chunks.add(chunks);
+      c_busy_ns.add(busy);
+      h_worker_busy.observe(static_cast<double>(busy) / 1e6);
+    }
     return;
   }
   {

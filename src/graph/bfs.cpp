@@ -4,8 +4,28 @@
 #include <stdexcept>
 
 #include "exec/parallel_for.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace flattree::graph {
+
+namespace {
+
+// Per-BFS-call accounting only (never per node/edge): one branch per
+// source, invisible on the disabled path, negligible when enabled.
+obs::Counter c_bfs_runs("graph.bfs.runs");
+obs::Counter c_bfs_visited("graph.bfs.nodes_visited");
+obs::Histogram h_bfs_visited("graph.bfs.visited_per_source",
+                             obs::Histogram::exponential_bounds(16.0, 4.0, 10));
+
+inline void note_bfs(std::size_t visited) {
+  if (!obs::enabled()) return;
+  c_bfs_runs.inc();
+  c_bfs_visited.add(visited);
+  h_bfs_visited.observe(static_cast<double>(visited));
+}
+
+}  // namespace
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
   std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
@@ -22,6 +42,7 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
       }
     }
   }
+  note_bfs(queue.size());
   return dist;
 }
 
@@ -44,10 +65,12 @@ std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
       }
     }
   }
+  note_bfs(queue.size());
   return dist;
 }
 
 std::vector<std::vector<std::uint32_t>> apsp_distances(const Graph& g) {
+  OBS_SPAN("graph.apsp");
   std::vector<std::vector<std::uint32_t>> dist(g.node_count());
   exec::parallel_for(g.node_count(), [&](std::size_t u) {
     dist[u] = bfs_distances(g, static_cast<NodeId>(u));

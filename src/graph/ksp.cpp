@@ -7,10 +7,18 @@
 
 #include "graph/bfs.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace flattree::graph {
 
 namespace {
+
+obs::Counter c_ksp_queries("graph.ksp.queries");
+obs::Counter c_ksp_paths("graph.ksp.paths_returned");
+obs::Counter c_ksp_spurs("graph.ksp.spur_dijkstras");
+obs::Counter c_ksp_candidates("graph.ksp.candidates_generated");
+obs::Counter c_ksp_pruned("graph.ksp.candidates_pruned");
 
 Path make_path(const Graph& g, std::vector<NodeId> nodes, std::vector<LinkId> links,
                const std::vector<double>& length) {
@@ -71,6 +79,8 @@ std::vector<Path> yen_ksp(const Graph& g, NodeId source, NodeId target, std::siz
   if (length.size() != g.link_count())
     throw std::invalid_argument("yen_ksp: length vector size mismatch");
   if (source == target) throw std::invalid_argument("yen_ksp: source == target");
+  OBS_SPAN("graph.ksp.query");
+  c_ksp_queries.inc();
   std::vector<Path> result;
   if (k == 0) return result;
 
@@ -105,6 +115,7 @@ std::vector<Path> yen_ksp(const Graph& g, NodeId source, NodeId target, std::siz
       // Ban root nodes (except the spur) to keep paths loopless.
       for (std::size_t j = 0; j < i; ++j) node_banned[prev.nodes[j]] = 1;
 
+      c_ksp_spurs.inc();
       auto spur_result = masked_dijkstra(g, spur, length, node_banned, link_banned);
       if (spur_result.dist[target] == kInfDistance) continue;
 
@@ -116,12 +127,17 @@ std::vector<Path> yen_ksp(const Graph& g, NodeId source, NodeId target, std::siz
       candidate.nodes.insert(candidate.nodes.end(), spur_nodes.begin() + 1, spur_nodes.end());
       candidate.links.insert(candidate.links.end(), spur_links.begin(), spur_links.end());
       for (LinkId l : candidate.links) candidate.length += length[l];
-      candidates.insert(std::move(candidate));
+      c_ksp_candidates.inc();
+      if (!candidates.insert(std::move(candidate)).second) c_ksp_pruned.inc();
     }
     if (candidates.empty()) break;
     result.push_back(*candidates.begin());
     candidates.erase(candidates.begin());
   }
+  // Candidates still pooled when k paths are found were generated for
+  // nothing — count them as pruned too.
+  c_ksp_pruned.add(candidates.size());
+  c_ksp_paths.add(result.size());
   return result;
 }
 

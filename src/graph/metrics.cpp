@@ -4,10 +4,16 @@
 
 #include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace flattree::graph {
 
 namespace {
+
+obs::Counter c_apl_runs("graph.apl.runs");
+obs::Counter c_apl_sources("graph.apl.sources_visited");
+obs::Counter c_apl_pairs("graph.apl.pairs");
 
 /// Per-source partial of the APL accumulation; combined in source order so
 /// the long-double sum is bit-identical at any thread count.
@@ -30,6 +36,7 @@ AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weigh
   if (weight.size() != g.node_count())
     throw std::invalid_argument("weighted_apl: weight size mismatch");
 
+  OBS_SPAN("graph.apl");
   const std::size_t n = g.node_count();
   // Unordered pairs: each source u contributes targets with a larger id,
   // plus its same-node pairs once. One BFS per weighted source, fanned out
@@ -42,6 +49,7 @@ AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weigh
           NodeId u = static_cast<NodeId>(s);
           if (weight[u] == 0) continue;
           if (member != nullptr && !(*member)[u]) continue;
+          c_apl_sources.inc();
           // Same-node server pairs.
           std::uint64_t wu = weight[u];
           if (wu >= 2) {
@@ -77,6 +85,8 @@ AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weigh
   r.max_dist = sum.max_dist;
   r.average =
       sum.pairs ? static_cast<double>(sum.total / static_cast<long double>(sum.pairs)) : 0.0;
+  c_apl_runs.inc();
+  c_apl_pairs.add(sum.pairs);
   return r;
 }
 

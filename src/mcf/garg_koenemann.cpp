@@ -6,12 +6,30 @@
 #include <stdexcept>
 
 #include "exec/parallel_for.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace flattree::mcf {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Per-solve / per-phase / per-augmentation accounting. Nothing is recorded
+// per arc, so the enabled-path overhead stays well under the 3% budget on
+// the solver's wall time (see bench_micro).
+obs::Counter c_gk_solves("mcf.gk.solves");
+obs::Counter c_gk_phases("mcf.gk.phases");
+obs::Counter c_gk_augmentations("mcf.gk.augmentations");
+obs::Counter c_gk_dijkstras("mcf.gk.dijkstra_runs");
+obs::Counter c_gk_stale("mcf.gk.stale_retrees");
+// Dual-bound trajectory: D(l) grows from ~0 to 1 across phases; the
+// histogram records its value at every phase end, so the bucket profile
+// shows how the certificate tightened over the run.
+obs::Histogram h_gk_dsum("mcf.gk.d_sum_per_phase",
+                         obs::Histogram::linear_bounds(0.1, 0.1, 10));
+obs::Gauge g_gk_lambda_lower("mcf.gk.last_lambda_lower");
+obs::Gauge g_gk_lambda_upper("mcf.gk.last_lambda_upper");
 
 /// Directed view of an undirected Graph: arc 2l = link l (a->b),
 /// arc 2l+1 = (b->a), each with the full link capacity.
@@ -103,6 +121,9 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   if (eps <= 0.0 || eps >= 1.0)
     throw std::invalid_argument("max_concurrent_flow: epsilon outside (0,1)");
 
+  OBS_SPAN("gk.solve");
+  c_gk_solves.inc();
+
   DirectedNet net(g);
   const std::size_t m = net.arc_count();
   if (m == 0) throw std::invalid_argument("max_concurrent_flow: empty graph");
@@ -125,6 +146,7 @@ McfResult max_concurrent_flow(const graph::Graph& g,
 
   bool done = false;
   while (!done && d_sum < 1.0 && result.phases < options.max_phases) {
+    OBS_SPAN("gk.phase");
     // The per-source shortest-path trees of this phase are independent
     // reads of the phase-start length function — the embarrassingly
     // parallel half of each Garg-Koenemann iteration. They are computed
@@ -162,6 +184,7 @@ McfResult max_concurrent_flow(const graph::Graph& g,
           }
           if (cur_len > (1.0 + eps) * dist_at_compute[target]) {
             // Stale tree (Fleischer's rule): recompute and retry.
+            c_gk_stale.inc();
             dijkstra(net, grp.src, length, tree);
             ++result.dijkstra_runs;
             dist_at_compute = tree.dist;
@@ -182,7 +205,9 @@ McfResult max_concurrent_flow(const graph::Graph& g,
       }
     }
     ++result.phases;
+    h_gk_dsum.observe(d_sum);
   }
+  c_gk_phases.add(result.phases);
 
   // Primal bound: rescale by worst congestion.
   double congestion = 0.0;
@@ -204,6 +229,7 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   // per-group alpha partials reduce in group order (deterministic).
   result.lambda_upper = kInf;
   if (options.compute_upper_bound) {
+    OBS_SPAN("gk.dual_bound");
     double alpha = exec::parallel_reduce(
         groups.size(), /*grain=*/1, 0.0,
         [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -220,6 +246,10 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     result.dijkstra_runs += groups.size();
     if (alpha > 0.0) result.lambda_upper = d_sum / alpha;
   }
+  c_gk_augmentations.add(result.augmentations);
+  c_gk_dijkstras.add(result.dijkstra_runs);
+  g_gk_lambda_lower.set(result.lambda_lower);
+  if (result.lambda_upper != kInf) g_gk_lambda_upper.set(result.lambda_upper);
   return result;
 }
 

@@ -1,0 +1,290 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace flattree::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  // JSON has no inf/nan; exporters should not produce them, but a stray
+  // non-finite must not corrupt the document.
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, value);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == value) {
+      std::memcpy(buf, probe, sizeof(probe));
+      break;
+    }
+  }
+  return buf;
+}
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (counts_.back() != 0) out_ += ',';
+    counts_.back() = 1;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  stack_ += 'o';
+  counts_ += '\0';
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  stack_.pop_back();
+  counts_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  stack_ += 'a';
+  counts_ += '\0';
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  stack_.pop_back();
+  counts_.pop_back();
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (!counts_.empty() && counts_.back() != 0) out_ += ',';
+  if (!counts_.empty()) counts_.back() = 1;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::string_value(const std::string& v) {
+  comma_for_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::int_value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::uint_value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::double_value(double v) {
+  comma_for_value();
+  out_ += json_number(v);
+}
+
+void JsonWriter::bool_value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null_value() {
+  comma_for_value();
+  out_ += "null";
+}
+
+void JsonWriter::raw_value(const std::string& fragment) {
+  comma_for_value();
+  out_ += fragment;
+}
+
+namespace {
+
+/// Recursive-descent JSON validator (no value materialization).
+struct Parser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool literal(const char* word) {
+    std::size_t len = std::strlen(word);
+    if (static_cast<std::size_t>(end - p) < len || std::strncmp(p, word, len) != 0)
+      return false;
+    p += len;
+    return true;
+  }
+
+  bool string() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end) {
+      unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return false;
+        char e = *p;
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p))) return false;
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+        ++p;
+      } else if (c < 0x20) {
+        return false;
+      } else {
+        ++p;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+    if (*p == '0') {
+      ++p;
+    } else {
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    return p > start;
+  }
+
+  bool value() {
+    if (++depth > 256) return false;
+    skip_ws();
+    bool ok = false;
+    if (p >= end) {
+      ok = false;
+    } else if (*p == '{') {
+      ++p;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return false;
+          ++p;
+          if (!value()) return false;
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      ++p;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) return false;
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      ok = string();
+    } else if (*p == 't') {
+      ok = literal("true");
+    } else if (*p == 'f') {
+      ok = literal("false");
+    } else if (*p == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_valid(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.value()) return false;
+  parser.skip_ws();
+  return parser.p == parser.end;
+}
+
+}  // namespace flattree::obs

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal JSON emission and validation used by the observability exporters.
+//
+// JsonWriter produces compact, deterministic JSON (keys are emitted in the
+// order the caller writes them; doubles use shortest round-trip formatting).
+// json_valid() is a strict structural validator used by tests and by the
+// manifest reader side of the tooling — it accepts exactly the subset the
+// writers emit (RFC 8259 values, no trailing commas, UTF-8 passthrough).
+
+#include <cstdint>
+#include <string>
+
+namespace flattree::obs {
+
+/// Escapes a string for inclusion in a JSON document (adds no quotes).
+std::string json_escape(const std::string& s);
+
+/// Formats a double as a JSON number (round-trip precision; non-finite
+/// values are clamped to 0 with a lossless textual marker impossible in
+/// JSON, so callers should filter them first — see implementation).
+std::string json_number(double value);
+
+/// Incremental writer for one JSON document. Nesting is tracked so commas
+/// and closers are placed automatically:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("argv"); w.begin_array(); w.string_value("bench"); w.end_array();
+///   w.key("seed"); w.int_value(42);
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Emits an object key; must be followed by exactly one value.
+  void key(const std::string& k);
+  void string_value(const std::string& v);
+  void int_value(std::int64_t v);
+  void uint_value(std::uint64_t v);
+  void double_value(double v);
+  void bool_value(bool v);
+  void null_value();
+  /// Emits a pre-rendered JSON fragment verbatim (caller guarantees syntax).
+  void raw_value(const std::string& fragment);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma_for_value();
+  std::string out_;
+  /// One entry per open container: count of values emitted at that level.
+  std::string stack_;  ///< 'o' = object, 'a' = array
+  std::string counts_;  ///< parallel to stack_: 0 = empty, 1 = non-empty
+  bool after_key_ = false;
+};
+
+/// Strict structural validation of a complete JSON document.
+bool json_valid(const std::string& text);
+
+}  // namespace flattree::obs

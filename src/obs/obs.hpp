@@ -1,0 +1,15 @@
+#pragma once
+// Umbrella header for the observability subsystem.
+//
+//   * obs/metrics.hpp  — counters / gauges / histograms + global switch
+//   * obs/trace.hpp    — OBS_SPAN tracing with JSON-lines export
+//   * obs/manifest.hpp — per-run manifest writer (RunSession)
+//   * obs/json.hpp     — JSON emission/validation helpers
+//
+// Everything is disabled by default; see DESIGN.md (Observability) for the
+// determinism contract and the disabled-path cost budget.
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -4,12 +4,20 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fair_share.hpp"
 
 namespace flattree::sim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+obs::Counter c_flows("sim.flow.flows");
+obs::Counter c_completions("sim.flow.completions");
+obs::Counter c_recomputes("sim.flow.rate_recomputes");
+obs::Histogram h_fct("sim.flow.fct",
+                     obs::Histogram::exponential_bounds(1e-3, 4.0, 16));
 }
 
 FlowSimulator::FlowSimulator(const topo::Topology& topo, routing::Routing& routing,
@@ -18,6 +26,8 @@ FlowSimulator::FlowSimulator(const topo::Topology& topo, routing::Routing& routi
 
 std::vector<FlowRecord> FlowSimulator::run(std::vector<SimFlow> flows) {
   if (flows.empty()) throw std::invalid_argument("FlowSimulator::run: no flows");
+  OBS_SPAN("sim.flow.run");
+  c_flows.add(flows.size());
 
   // Resources: directed link arcs [0, 2L), then server NICs [2L, 2L + S).
   const std::size_t links = topo_.link_count();
@@ -110,6 +120,8 @@ std::vector<FlowRecord> FlowSimulator::run(std::vector<SimFlow> flows) {
     for (std::size_t i = active.size(); i-- > 0;) {
       if (active[i].remaining <= kTol * records[active[i].index].flow.size) {
         records[active[i].index].finish = now;
+        c_completions.inc();
+        h_fct.observe(now - records[active[i].index].flow.arrival);
         active.erase(active.begin() + static_cast<long>(i));
       }
     }
@@ -124,6 +136,7 @@ std::vector<FlowRecord> FlowSimulator::run(std::vector<SimFlow> flows) {
       records[idx].hops = hops;
       active.push_back(std::move(a));
     }
+    c_recomputes.inc();
     recompute();
   }
   return records;

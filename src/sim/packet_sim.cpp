@@ -4,11 +4,20 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace flattree::sim {
 
 namespace {
+
+obs::Counter c_pkt_events("sim.packet.events_processed");
+obs::Counter c_pkt_injected("sim.packet.injected");
+obs::Counter c_pkt_delivered("sim.packet.delivered");
+obs::Counter c_pkt_dropped("sim.packet.dropped");
+obs::Histogram h_pkt_delay("sim.packet.delay",
+                           obs::Histogram::exponential_bounds(1e-7, 4.0, 16));
 
 struct Packet {
   std::uint64_t flow_id = 0;
@@ -46,6 +55,7 @@ PacketSimulator::PacketSimulator(const topo::Topology& topo, const routing::Fib&
 
 PacketStats PacketSimulator::run(const std::vector<PacketFlow>& flows) {
   if (flows.empty()) throw std::invalid_argument("PacketSimulator::run: no flows");
+  OBS_SPAN("sim.packet.run");
 
   const std::size_t arcs = topo_.link_count() * 2;
   std::vector<ArcState> arc_state(arcs);
@@ -70,6 +80,7 @@ PacketStats PacketSimulator::run(const std::vector<PacketFlow>& flows) {
       ++stats.injected;
     }
   }
+  c_pkt_injected.add(stats.injected);
 
   // Departure bookkeeping: queued counts drain when the head leaves the
   // wire; model it by scheduling the decrement together with the arrival
@@ -84,6 +95,7 @@ PacketStats PacketSimulator::run(const std::vector<PacketFlow>& flows) {
   while (!events.empty()) {
     Event ev = events.top();
     events.pop();
+    c_pkt_events.inc();
     while (!drains.empty() && drains.top().time <= ev.time) {
       --arc_state[drains.top().arc].queued;
       drains.pop();
@@ -93,6 +105,8 @@ PacketStats PacketSimulator::run(const std::vector<PacketFlow>& flows) {
     if (ev.at == pkt.dst_switch) {
       ++stats.delivered;
       double delay = ev.time - pkt.injected_at;
+      c_pkt_delivered.inc();
+      h_pkt_delay.observe(delay);
       delays.push_back(delay);
       stats.finish_time = std::max(stats.finish_time, ev.time);
       continue;
@@ -110,6 +124,7 @@ PacketStats PacketSimulator::run(const std::vector<PacketFlow>& flows) {
 
     if (config_.queue_packets != 0 && state.queued >= config_.queue_packets) {
       ++stats.dropped;
+      c_pkt_dropped.inc();
       stats.finish_time = std::max(stats.finish_time, ev.time);
       continue;
     }

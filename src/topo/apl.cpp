@@ -1,8 +1,20 @@
 #include "topo/apl.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace flattree::topo {
 
+namespace {
+
+obs::Counter c_apl_runs("topo.apl.runs");
+obs::Counter c_apl_grouped("topo.apl.grouped_runs");
+
+}  // namespace
+
 graph::AplResult server_apl(const Topology& topo) {
+  OBS_SPAN("topo.apl.server_apl");
+  c_apl_runs.inc();
   return graph::weighted_apl(topo.graph(), topo.servers_per_switch(), /*offset=*/2,
                              /*same_node_dist=*/2);
 }
@@ -16,6 +28,8 @@ graph::AplResult server_apl_subset(const Topology& topo,
 
 graph::AplResult server_apl_grouped(const Topology& topo,
                                     const std::vector<std::vector<ServerId>>& groups) {
+  OBS_SPAN("topo.apl.server_apl_grouped");
+  c_apl_grouped.inc();
   long double total = 0.0L;
   std::uint64_t pairs = 0;
   std::uint32_t max_dist = 0;

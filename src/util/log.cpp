@@ -2,11 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace flattree::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Reads FLATTREE_LOG once at startup; unset or unparseable keeps Warn.
+LogLevel initial_level() {
+  const char* env = std::getenv("FLATTREE_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  LogLevel parsed = LogLevel::Warn;
+  return parse_log_level(env, &parsed) ? parsed : LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,14 +29,45 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Case-insensitive ASCII comparison (level names are plain letters).
+bool iequals(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    char ca = *a, cb = *b;
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return *a == '\0' && *b == '\0';
+}
+
 }  // namespace
+
+bool parse_log_level(const char* text, LogLevel* out) {
+  if (text == nullptr || out == nullptr) return false;
+  if (iequals(text, "debug")) { *out = LogLevel::Debug; return true; }
+  if (iequals(text, "info")) { *out = LogLevel::Info; return true; }
+  if (iequals(text, "warn") || iequals(text, "warning")) { *out = LogLevel::Warn; return true; }
+  if (iequals(text, "error")) { *out = LogLevel::Error; return true; }
+  if (iequals(text, "off") || iequals(text, "none")) { *out = LogLevel::Off; return true; }
+  return false;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // One fwrite per line: concurrent loggers may interleave lines but never
+  // characters within a line (POSIX stdio locks the stream per call).
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void log_debug(const std::string& message) { log(LogLevel::Debug, message); }

@@ -1,12 +1,23 @@
 #pragma once
 // Tiny leveled logger (stderr). Benches use Info for progress on long
 // solver runs; libraries log nothing above Debug by default.
+//
+// The initial threshold can be set from the environment:
+//   FLATTREE_LOG=debug|info|warn|error|off
+// (case-insensitive; unset or unrecognized keeps the Warn default).
+// Emission is thread-safe: each message is written with a single fwrite,
+// so concurrent lines never interleave mid-line.
 
 #include <string>
 
 namespace flattree::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// "off"/"none"; case-insensitive). Returns false (and leaves `*out`
+/// untouched) for anything else. Used for the FLATTREE_LOG env var.
+bool parse_log_level(const char* text, LogLevel* out);
 
 /// Global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);

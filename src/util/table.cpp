@@ -57,9 +57,11 @@ std::string Table::to_aligned() const {
   return os.str();
 }
 
-namespace {
 std::string csv_escape(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  // RFC 4180: quote fields containing separators, quotes, or line breaks
+  // (CR as well as LF — bare CR still breaks most readers); double any
+  // embedded quotes.
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (char ch : s) {
     if (ch == '"') out += '"';
@@ -68,7 +70,6 @@ std::string csv_escape(const std::string& s) {
   out += '"';
   return out;
 }
-}  // namespace
 
 std::string Table::to_csv() const {
   std::ostringstream os;

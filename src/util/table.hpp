@@ -28,7 +28,8 @@ class Table {
 
   /// Renders the aligned, padded table.
   std::string to_aligned() const;
-  /// Renders RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  /// Renders RFC 4180 CSV (fields containing commas, quotes, CR, or LF
+  /// are quoted; embedded quotes are doubled).
   std::string to_csv() const;
 
   /// Prints aligned table and CSV block (the standard bench footer).
@@ -41,5 +42,9 @@ class Table {
 
 /// Formats a double with fixed precision, trimming to a compact form.
 std::string format_double(double value, int precision = 4);
+
+/// RFC 4180 field escaping used by Table::to_csv (exposed for tests and
+/// ad-hoc CSV writers).
+std::string csv_escape(const std::string& s);
 
 }  // namespace flattree::util

@@ -1,0 +1,97 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flattree::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-2.25), "-2.25");
+  // Shortest form that parses back to the same double.
+  double v = 0.1;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+  v = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+  v = 1e300;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+}
+
+TEST(JsonNumber, NonFiniteClampsToZero) {
+  EXPECT_EQ(json_number(std::nan("")), "0");
+  EXPECT_EQ(json_number(INFINITY), "0");
+}
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.int_value(-3);
+  w.key("b");
+  w.begin_array();
+  w.string_value("x");
+  w.uint_value(7);
+  w.bool_value(true);
+  w.null_value();
+  w.end_array();
+  w.key("c");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":-3,"b":["x",7,true,null],"c":{}})");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriter, EscapesKeysAndStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("he\"y");
+  w.string_value("line\nbreak");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"he\\\"y\":\"line\\nbreak\"}");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonValid, AcceptsWellFormed) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("[1,2.5,-3e10,\"s\",true,false,null]"));
+  EXPECT_TRUE(json_valid(R"({"a":{"b":[{"c":1}]}})"));
+  EXPECT_TRUE(json_valid("  {\"k\" : [ 1 , 2 ] }  "));
+}
+
+TEST(JsonValid, RejectsMalformed) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,2,]"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+  EXPECT_FALSE(json_valid("[1] trailing"));
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+}
+
+TEST(JsonValid, RejectsRunawayNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json_valid(deep));  // depth cap, not a stack overflow
+}
+
+}  // namespace
+}  // namespace flattree::obs

@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace flattree::util {
+namespace {
+
+TEST(ParseLogLevel, AcceptsAllNames) {
+  LogLevel out = LogLevel::Warn;
+  EXPECT_TRUE(parse_log_level("debug", &out));
+  EXPECT_EQ(out, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("info", &out));
+  EXPECT_EQ(out, LogLevel::Info);
+  EXPECT_TRUE(parse_log_level("warn", &out));
+  EXPECT_EQ(out, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("warning", &out));
+  EXPECT_EQ(out, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("error", &out));
+  EXPECT_EQ(out, LogLevel::Error);
+  EXPECT_TRUE(parse_log_level("off", &out));
+  EXPECT_EQ(out, LogLevel::Off);
+  EXPECT_TRUE(parse_log_level("none", &out));
+  EXPECT_EQ(out, LogLevel::Off);
+}
+
+TEST(ParseLogLevel, CaseInsensitive) {
+  LogLevel out = LogLevel::Warn;
+  EXPECT_TRUE(parse_log_level("DEBUG", &out));
+  EXPECT_EQ(out, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("Info", &out));
+  EXPECT_EQ(out, LogLevel::Info);
+}
+
+TEST(ParseLogLevel, RejectsGarbageAndLeavesOutUntouched) {
+  LogLevel out = LogLevel::Error;
+  EXPECT_FALSE(parse_log_level("verbose", &out));
+  EXPECT_FALSE(parse_log_level("", &out));
+  EXPECT_FALSE(parse_log_level("debu", &out));
+  EXPECT_FALSE(parse_log_level("debugx", &out));
+  EXPECT_FALSE(parse_log_level(nullptr, &out));
+  EXPECT_EQ(out, LogLevel::Error);
+}
+
+TEST(Log, LevelThresholdRoundTrips) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+TEST(Log, ConcurrentLoggingDoesNotCrash) {
+  // Emission is one fwrite per line; under tsan this exercises the
+  // level load and the stderr stream from several threads at once.
+  LogLevel before = log_level();
+  set_log_level(LogLevel::Off);  // keep test output clean
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i)
+        log_error("thread " + std::to_string(t) + " line " + std::to_string(i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace flattree::util

@@ -103,6 +103,71 @@ TEST(Percentile, MatchesDistribution) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
 }
 
+TEST(Percentile, RejectsEmpty) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleAnyP) {
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(percentile({42.0}, p), 42.0);
+}
+
+TEST(Percentile, OutOfRangeClampsToExtremes) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_EQ(percentile(xs, 150.0), 3.0);
+}
+
+TEST(Distribution, DuplicateHeavySamples) {
+  // 90 copies of 1.0, then 9 of 2.0, one of 100.0: the bulk quantiles
+  // sit on the plateau, only the extreme tail sees the outlier.
+  std::vector<double> xs(90, 1.0);
+  xs.insert(xs.end(), 9, 2.0);
+  xs.push_back(100.0);
+  Distribution d(xs);
+  EXPECT_EQ(d.quantile(0.0), 1.0);
+  EXPECT_EQ(d.median(), 1.0);
+  EXPECT_EQ(d.quantile(0.89), 1.0);
+  EXPECT_EQ(d.quantile(0.95), 2.0);
+  EXPECT_EQ(d.quantile(1.0), 100.0);
+  // p99 interpolates on the edge of the outlier: between 2 and 100.
+  double p99 = d.quantile(0.99);
+  EXPECT_GE(p99, 2.0);
+  EXPECT_LE(p99, 100.0);
+}
+
+TEST(Distribution, AllIdenticalSamples) {
+  Distribution d(std::vector<double>(1000, 3.25));
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) EXPECT_EQ(d.quantile(q), 3.25);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.25);
+}
+
+TEST(Accumulator, StableOnLargeUniformSample) {
+  // 10^6 identical values far from zero: the naive sum-of-squares formula
+  // suffers catastrophic cancellation here; Welford must report exactly
+  // zero variance and the exact mean.
+  Accumulator acc;
+  const double v = 1e8 + 0.25;
+  for (int i = 0; i < 1'000'000; ++i) acc.add(v);
+  EXPECT_EQ(acc.count(), 1'000'000u);
+  EXPECT_DOUBLE_EQ(acc.mean(), v);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stdev(), 0.0);
+}
+
+TEST(Accumulator, StableOnLargeOffsetUniformGrid) {
+  // Uniform grid {K, K+1} with a huge offset K: true sample variance is
+  // n/(4(n-1)) ~ 0.25. Welford keeps several digits where the naive
+  // formula would lose all of them.
+  Accumulator acc;
+  const double offset = 1e9;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) acc.add(offset + static_cast<double>(i % 2));
+  double expected = 0.25 * static_cast<double>(n) / static_cast<double>(n - 1);
+  EXPECT_NEAR(acc.mean(), offset + 0.5, 1e-3);
+  EXPECT_NEAR(acc.variance(), expected, 1e-6);
+}
+
 TEST(ApproxEqual, RelativeAndAbsolute) {
   EXPECT_TRUE(approx_equal(1.0, 1.0));
   EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));

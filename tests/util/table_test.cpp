@@ -74,6 +74,30 @@ TEST(Table, ShortRowsPadInAlignedOutput) {
   EXPECT_EQ(t.to_csv(), "a,b\nonly\n");
 }
 
+TEST(Table, CsvQuotesLineBreaks) {
+  Table t({"v"});
+  t.begin_row();
+  t.add("line1\nline2");
+  EXPECT_EQ(t.to_csv(), "v\n\"line1\nline2\"\n");
+  Table r({"v"});
+  r.begin_row();
+  r.add("a\rb");
+  EXPECT_EQ(r.to_csv(), "v\n\"a\rb\"\n");
+  Table crlf({"v"});
+  crlf.begin_row();
+  crlf.add("a\r\nb");
+  EXPECT_EQ(crlf.to_csv(), "v\n\"a\r\nb\"\n");
+}
+
+TEST(CsvEscape, Rfc4180Fields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("tab\tok"), "tab\tok");  // tabs need no quoting
+  EXPECT_EQ(csv_escape("\r"), "\"\r\"");
+}
+
 TEST(FormatDouble, Precision) {
   EXPECT_EQ(format_double(1.0, 0), "1");
   EXPECT_EQ(format_double(0.123456, 4), "0.1235");
