@@ -20,11 +20,14 @@ int main(int argc, char** argv) {
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_bool("dump", &dump, "print every sweep point, not just the optima");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
 
@@ -33,6 +36,14 @@ int main(int argc, char** argv) {
   for (std::uint32_t k : bench::k_values(kmax, kstep)) {
     core::ProfileResult fine =
         core::profile_mn(k, core::WiringPattern::Auto, core::PodChain::Ring, /*step=*/1);
+    if (bench::selfcheck_enabled()) {
+      core::FlatTreeConfig best;
+      best.k = k;
+      best.m = fine.best_m;
+      best.n = fine.best_n;
+      bench::check_topology(core::FlatTreeNetwork(best).build(core::Mode::GlobalRandom),
+                            "flat-tree(best m,n)");
+    }
     std::uint32_t pm = core::FlatTreeConfig::default_m(k);
     std::uint32_t pn = core::FlatTreeConfig::default_n(k);
     double paper_apl = 0.0;
@@ -53,5 +64,5 @@ int main(int argc, char** argv) {
   table.print("Ablation: step-1 (m, n) profiling vs the paper's k/8 grid");
   std::puts("The paper's coarse grid stays within a few percent of the fine-grained\n"
             "optimum, supporting its profiling scheme.");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -22,7 +22,12 @@ double apl_for(std::uint32_t k, core::WiringPattern pattern, core::PodChain chai
   cfg.chain = chain;
   core::FlatTreeNetwork net(cfg);
   try {
-    return topo::server_apl(net.build(core::Mode::GlobalRandom)).average;
+    topo::Topology t = net.build(core::Mode::GlobalRandom);
+    double apl = topo::server_apl(t).average;
+    // Validate only non-degenerate wirings: a disconnected explicit
+    // pattern is a legal "disconn" table entry, not a violation.
+    bench::check_topology(t, "flat-tree(global)");
+    return apl;
   } catch (const std::exception&) {
     return -1.0;  // degenerate wiring disconnects some cores
   }
@@ -36,11 +41,14 @@ int main(int argc, char** argv) {
   util::CliParser cli("Ablation: wiring pattern and pod-chain topology (global RG APL).");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
 
@@ -67,5 +75,5 @@ int main(int argc, char** argv) {
   std::puts("Auto picks the paper rule (pattern 2 when 4 | k) unless that rotation\n"
             "would break Property 1; 'disconn' marks degenerate explicit choices.\n"
             "Linear chains lose the wrap-around side links, slightly raising APL.");
-  return 0;
+  return bench::selfcheck_exit();
 }

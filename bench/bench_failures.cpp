@@ -25,11 +25,14 @@ int main(int argc, char** argv) {
   cli.add_int("seeds", &seeds, "failure draws to average");
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -54,7 +57,16 @@ int main(int argc, char** argv) {
   };
   auto degraded_throughput = [&](const std::vector<core::ConverterConfig>& cfg,
                                  const core::FailureSet& failures) {
-    core::DegradedTopology d = core::apply_failures(net.materialize(cfg), failures);
+    topo::Topology healthy = net.materialize(cfg);
+    bench::check_topology(healthy, "materialized");
+    core::DegradedTopology d = core::apply_failures(healthy, failures);
+    // After failures the dead switches stay as isolated nodes and their
+    // servers are the declared stranded set; connectivity is only required
+    // of the surviving subgraph.
+    check::TopologyCheckOptions degraded_opts;
+    degraded_opts.allow_isolated_switches = true;
+    degraded_opts.declared_stranded = d.stranded_servers;
+    bench::check_topology(d.topo, "degraded", degraded_opts);
     std::vector<char> stranded(d.topo.server_count(), 0);
     for (topo::ServerId s : d.stranded_servers) stranded[s] = 1;
     std::vector<mcf::ServerDemand> alive;
@@ -89,7 +101,7 @@ int main(int argc, char** argv) {
 
       stranded_before += static_cast<double>(
           core::stranded_server_count(net, configs, failures));
-      auto recovered = core::plan_recovery(net, configs, failures);
+      auto recovered = core::plan_recovery(net, configs, failures).configs;
       stranded_after += static_cast<double>(
           core::stranded_server_count(net, recovered, failures));
       ZoneResult before = degraded_throughput(configs, failures);
@@ -111,5 +123,5 @@ int main(int argc, char** argv) {
   table.print("Extension: core-switch failures, recovery by reconversion");
   std::puts("Convertibility re-homes every server stranded on a failed core (a\n"
             "static random graph would lose them until recabled).");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -22,13 +22,18 @@ std::uint32_t eighth(std::uint32_t k, std::uint32_t mult) {
       std::lround(static_cast<double>(mult) * static_cast<double>(k) / 8.0));
 }
 
-double flat_tree_apl(std::uint32_t k, std::uint32_t m, std::uint32_t n) {
+double flat_tree_apl(std::uint32_t k, std::uint32_t m, std::uint32_t n,
+                     const topo::Topology* parity_ref) {
   core::FlatTreeConfig cfg;
   cfg.k = k;
   cfg.m = m;
   cfg.n = n;
   core::FlatTreeNetwork net(cfg);
-  return topo::server_apl(net.build(core::Mode::GlobalRandom)).average;
+  topo::Topology t = net.build(core::Mode::GlobalRandom);
+  bench::check_topology(t, "flat-tree(global)");
+  if (parity_ref != nullptr)
+    bench::check_parity(*parity_ref, t, "fat-tree vs flat-tree");
+  return topo::server_apl(t).average;
 }
 
 }  // namespace
@@ -36,7 +41,7 @@ double flat_tree_apl(std::uint32_t k, std::uint32_t m, std::uint32_t n) {
 int main(int argc, char** argv) {
   std::int64_t kmax = 32, kstep = 2, seed = 1, rg_seeds = 1;
   std::int64_t threads = 0;
-  bool full = false;
+  bool full = false, selfcheck = false;
   util::CliParser cli(
       "Figure 5 reproduction: network-wide server-pair average path length vs k.");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
@@ -45,10 +50,12 @@ int main(int argc, char** argv) {
   cli.add_int("rg-seeds", &rg_seeds, "random-graph draws to average");
   cli.add_bool("full", &full, "paper-scale sweep (k to 32 step 2; the default already is)");
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -71,11 +78,15 @@ int main(int argc, char** argv) {
   for (std::uint32_t k : bench::k_values(kmax, kstep)) {
     table.begin_row();
     table.integer(k);
-    table.num(topo::server_apl(topo::build_fat_tree(k).topo).average);
+    topo::Topology fat = topo::build_fat_tree(k).topo;
+    bench::check_topology(fat, "fat-tree");
+    table.num(topo::server_apl(fat).average);
     double rg_sum = 0.0;
     for (std::int64_t s = 0; s < rg_seeds; ++s) {
       util::Rng rng(static_cast<std::uint64_t>(seed + s) * 1009 + k);
-      rg_sum += topo::server_apl(topo::build_jellyfish_like_fat_tree(k, rng)).average;
+      topo::Topology rg = topo::build_jellyfish_like_fat_tree(k, rng);
+      bench::check_topology(rg, "random-graph");
+      rg_sum += topo::server_apl(rg).average;
     }
     table.num(rg_sum / static_cast<double>(rg_seeds));
     for (auto [mm, nm] : settings) {
@@ -85,11 +96,11 @@ int main(int argc, char** argv) {
         table.add("-");  // infeasible at this k (m + n > k/2)
         continue;
       }
-      table.num(flat_tree_apl(k, m, n));
+      table.num(flat_tree_apl(k, m, n, &fat));
     }
   }
   table.print("Figure 5: average path length of server pairs (entire network)");
   std::puts("Paper shape: flat-tree(m=k/8, n=2k/8) within ~5% of random graph,\n"
             "both well below fat-tree (~5.5-5.9).");
-  return 0;
+  return bench::selfcheck_exit();
 }

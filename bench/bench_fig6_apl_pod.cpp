@@ -33,16 +33,19 @@ std::vector<std::vector<topo::ServerId>> pod_groups(std::uint32_t k) {
 int main(int argc, char** argv) {
   std::int64_t kmax = 32, kstep = 2, seed = 1;
   std::int64_t threads = 0;
+  bool selfcheck = false;
   util::CliParser cli(
       "Figure 6 reproduction: intra-pod server-pair average path length vs k.");
   cli.add_int("kmax", &kmax, "largest fat-tree parameter k");
   cli.add_int("kstep", &kstep, "k sweep step");
   cli.add_int("seed", &seed, "random graph seed");
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -54,17 +57,24 @@ int main(int argc, char** argv) {
     core::FlatTreeNetwork net = bench::profiled_network(k);
     util::Rng rng(static_cast<std::uint64_t>(seed) * 131 + k);
 
+    topo::Topology local = net.build(core::Mode::LocalRandom);
+    topo::Topology fat = topo::build_fat_tree(k).topo;
+    topo::Topology rg = topo::build_jellyfish_like_fat_tree(k, rng);
+    topo::Topology two_stage = topo::build_two_stage_random_graph(k, rng);
+    bench::check_topology(local, "flat-tree(local)");
+    bench::check_topology(fat, "fat-tree");
+    bench::check_topology(rg, "random-graph");
+    bench::check_topology(two_stage, "two-stage-random");
+    bench::check_parity(fat, local, "fat-tree vs flat-tree(local)");
+
     table.begin_row();
     table.integer(k);
-    table.num(topo::server_apl_grouped(net.build(core::Mode::LocalRandom), groups).average);
-    table.num(topo::server_apl_grouped(topo::build_fat_tree(k).topo, groups).average);
-    table.num(topo::server_apl_grouped(topo::build_jellyfish_like_fat_tree(k, rng), groups)
-                  .average);
-    table.num(
-        topo::server_apl_grouped(topo::build_two_stage_random_graph(k, rng), groups)
-            .average);
+    table.num(topo::server_apl_grouped(local, groups).average);
+    table.num(topo::server_apl_grouped(fat, groups).average);
+    table.num(topo::server_apl_grouped(rg, groups).average);
+    table.num(topo::server_apl_grouped(two_stage, groups).average);
   }
   table.print("Figure 6: average path length of server pairs in each pod");
   std::puts("Paper shape: flat-tree < fat-tree < two-stage random < random graph.");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -36,11 +36,14 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
   cli.add_bool("full", &full, "paper-scale sweep (k to 32 step 2; slow)");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -61,6 +64,10 @@ int main(int argc, char** argv) {
     topo::FatTree ft = topo::build_fat_tree(k);
     util::Rng rg_rng(static_cast<std::uint64_t>(seed) * 271 + k);
     topo::Topology rg = topo::build_jellyfish_like_fat_tree(k, rg_rng);
+    bench::check_topology(flat, "flat-tree(global)");
+    bench::check_topology(ft.topo, "fat-tree");
+    bench::check_topology(rg, "random-graph");
+    bench::check_parity(ft.topo, flat, "fat-tree vs flat-tree");
 
     const double normalize = static_cast<double>(size - 1) /
                              static_cast<double>(cluster - 1);
@@ -83,5 +90,5 @@ int main(int argc, char** argv) {
   table.print("Figure 7: broadcast/incast throughput in 1000-server clusters");
   std::puts("Paper shape: flat-tree ~= random graph ~= 1.5x fat-tree; linear in k;\n"
             "insensitive to locality.");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -31,11 +31,14 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
   cli.add_bool("full", &full, "paper-scale sweep (k to 32 step 2; slow)");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -55,6 +58,11 @@ int main(int argc, char** argv) {
     util::Rng rg_rng(static_cast<std::uint64_t>(seed) * 523 + k);
     topo::Topology rg = topo::build_jellyfish_like_fat_tree(k, rg_rng);
     topo::Topology ts = topo::build_two_stage_random_graph(k, rg_rng);
+    bench::check_topology(flat, "flat-tree(local)");
+    bench::check_topology(ft.topo, "fat-tree");
+    bench::check_topology(rg, "random-graph");
+    bench::check_topology(ts, "two-stage-random");
+    bench::check_parity(ft.topo, flat, "fat-tree vs flat-tree(local)");
 
     auto mean = [&](const topo::Topology& t, workload::Placement placement) {
       return bench::mean_cluster_throughput(
@@ -78,5 +86,5 @@ int main(int argc, char** argv) {
   std::puts("Paper shape: flat-tree ~= two-stage random (ahead for k <= 14); fat-tree\n"
             "strong under locality but collapses under weak locality; random graph\n"
             "moderate and least sensitive.");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -58,11 +58,14 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
   cli.add_bool("full", &full, "paper-scale run: k = 30, 10% steps (slow)");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -82,6 +85,9 @@ int main(int argc, char** argv) {
   // zone cluster size shrinks when a zone is smaller than the cluster).
   topo::Topology full_global = net.build(core::Mode::GlobalRandom);
   topo::Topology full_local = net.build(core::Mode::LocalRandom);
+  bench::check_topology(full_global, "flat-tree(global)");
+  bench::check_topology(full_local, "flat-tree(local)");
+  bench::check_parity(full_global, full_local, "global vs local build");
   std::map<std::uint32_t, double> ref_global, ref_local;
   auto reference = [&](std::map<std::uint32_t, double>& cache, const topo::Topology& t,
                        std::uint32_t size, workload::Placement placement,
@@ -107,6 +113,8 @@ int main(int argc, char** argv) {
     core::ZonePartition zones =
         core::ZonePartition::proportion(ku, static_cast<double>(pct) / 100.0);
     topo::Topology hybrid = net.build(zones.pod_modes);
+    bench::check_topology(hybrid, "flat-tree(hybrid)");
+    bench::check_parity(full_global, hybrid, "global vs hybrid build");
     auto g_servers = core::servers_in_pods(net, zones.pods_in(core::Mode::GlobalRandom));
     auto l_servers = core::servers_in_pods(net, zones.pods_in(core::Mode::LocalRandom));
 
@@ -162,5 +170,5 @@ int main(int argc, char** argv) {
   std::puts("Paper claim: zones are segregated. Joint factor ~1.0 means both zones\n"
             "sustain their dedicated-network throughput simultaneously; isolated\n"
             "ratios can exceed 1.0 (an unloaded zone lends detour capacity).");
-  return 0;
+  return bench::selfcheck_exit();
 }

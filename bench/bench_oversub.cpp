@@ -30,11 +30,14 @@ int main(int argc, char** argv) {
   cli.add_int("seeds", &seeds, "hot-spot draws to average");
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -56,6 +59,9 @@ int main(int argc, char** argv) {
                               core::FlatTreeConfig::kProfiled);
     topo::Topology clos = net.build(core::Mode::Clos);
     topo::Topology flat = net.build(core::Mode::GlobalRandom);
+    bench::check_topology(clos, "clos");
+    bench::check_topology(flat, "flat-tree(global)");
+    bench::check_parity(clos, flat, "clos vs flat-tree");
 
     double apl_clos = topo::server_apl(clos).average;
     double apl_flat = topo::server_apl(flat).average;
@@ -86,5 +92,5 @@ int main(int argc, char** argv) {
             "hot-spot throughput at every subscription ratio, and from 2:1 onward the\n"
             "relative gain grows with oversubscription (the 1:1 row is a very small\n"
             "network where the cluster covers most servers).");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -20,7 +20,12 @@ namespace {
 void run_case(util::Table& table, const char* name, const topo::Topology& t,
               const std::vector<sim::PacketFlow>& flows, const sim::PacketSimConfig& cfg) {
   routing::EcmpRouting routing(t.graph());
-  routing::Fib fib = routing::compile_fib(t, routing, routing::all_server_pairs(t));
+  auto pairs = routing::all_server_pairs(t);
+  routing::Fib fib = routing::compile_fib(t, routing, pairs);
+  // ECMP installs shortest-path hops only, so the strict-progress FIB
+  // invariant applies (a KSP FIB would need verify_fib instead).
+  if (bench::selfcheck_enabled())
+    bench::selfcheck_record(check::validate_fib_progress(t, fib, pairs), "fib");
   sim::PacketSimulator simulator(t, fib, cfg);
   sim::PacketStats stats = simulator.run(flows);
   table.begin_row();
@@ -44,11 +49,14 @@ int main(int argc, char** argv) {
   cli.add_int("queue", &queue, "output queue capacity in packets");
   cli.add_double("nic-rate", &nic_rate, "injection rate vs unit link capacity");
   cli.add_int("seed", &seed, "RNG seed for the permutation");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -57,6 +65,9 @@ int main(int argc, char** argv) {
   topo::FatTree ft = topo::build_fat_tree(ku);
   core::FlatTreeNetwork net = bench::profiled_network(ku);
   topo::Topology grg = net.build(core::Mode::GlobalRandom);
+  bench::check_topology(ft.topo, "fat-tree");
+  bench::check_topology(grg, "flat-tree(global)");
+  bench::check_parity(ft.topo, grg, "fat-tree vs flat-tree");
 
   // Synchronized permutation burst: every server fires a train at t = 0.
   util::Rng rng(static_cast<std::uint64_t>(seed));
@@ -76,5 +87,5 @@ int main(int argc, char** argv) {
   table.print("Extension: packet-level permutation burst");
   std::puts("Shorter converted paths reduce per-packet queueing stages; expect lower\n"
             "delay and earlier finish at comparable or lower loss.");
-  return 0;
+  return bench::selfcheck_exit();
 }

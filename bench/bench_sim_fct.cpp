@@ -10,6 +10,7 @@
 
 #include "common.hpp"
 #include "routing/ecmp.hpp"
+#include "routing/fib.hpp"
 #include "routing/ksp_routing.hpp"
 #include "sim/flow_gen.hpp"
 #include "sim/flow_sim.hpp"
@@ -51,11 +52,14 @@ int main(int argc, char** argv) {
   cli.add_int("flows", &flows, "number of flows to simulate");
   cli.add_double("load", &load, "Poisson arrival rate (flows per unit time)");
   cli.add_int("seed", &seed, "RNG seed");
+  bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
+  bench::add_selfcheck_flag(cli, &selfcheck);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
+  bench::apply_selfcheck(selfcheck);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
@@ -64,6 +68,9 @@ int main(int argc, char** argv) {
   topo::FatTree ft = topo::build_fat_tree(ku);
   core::FlatTreeNetwork net = bench::profiled_network(ku);
   topo::Topology grg = net.build(core::Mode::GlobalRandom);
+  bench::check_topology(ft.topo, "fat-tree");
+  bench::check_topology(grg, "flat-tree(global)");
+  bench::check_parity(ft.topo, grg, "fat-tree vs flat-tree");
 
   util::Rng rng(static_cast<std::uint64_t>(seed));
   sim::FlowSizeDist dist;
@@ -86,10 +93,20 @@ int main(int argc, char** argv) {
   }
   {
     routing::KspRouting ksp(grg.graph(), 8);
+    // Yen invariants on a sample of switch pairs: loopless, distinct,
+    // length-sorted path sets.
+    if (bench::selfcheck_enabled()) {
+      auto pairs = routing::all_server_pairs(grg);
+      for (std::size_t i = 0; i < pairs.size(); i += 97) {
+        auto [src, dst] = pairs[i];
+        bench::selfcheck_record(
+            check::validate_paths(grg.graph(), src, dst, ksp.paths(src, dst)), "ksp");
+      }
+    }
     report(table, "flat-tree(gRG) + KSP8", grg, ksp, workload);
   }
   table.print("Extension: flow-completion time by topology and routing scheme");
   std::puts("Expected: the converted flat-tree shortens paths (lower mean hops) and\n"
             "KSP exploits its path diversity; ECMP suffices on the Clos fat-tree.");
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -5,10 +5,13 @@
 // block (util::Table::print). Quick defaults finish in seconds; --full
 // switches to the paper's parameter ranges.
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/flat_tree.hpp"
 #include "exec/parallel_for.hpp"
 #include "mcf/garg_koenemann.hpp"
@@ -20,6 +23,76 @@
 #include "workload/traffic.hpp"
 
 namespace flattree::bench {
+
+// -- self-checking (--selfcheck) --------------------------------------------
+//
+// With --selfcheck every topology a bench builds runs the src/check
+// invariant battery and every max-concurrent-flow result is certified
+// (capacity feasibility, flow conservation, primal support, FPTAS
+// bracket). Violations print to stderr as they happen, bump the
+// check.violations counter (visible in --metrics-json run manifests), and
+// flip the process exit code to 1 via selfcheck_exit(). Without the flag
+// none of this runs and bench output is byte-identical to before.
+
+/// Process-wide switch; set from the --selfcheck flag via apply_selfcheck.
+inline bool& selfcheck_enabled() {
+  static bool on = false;
+  return on;
+}
+
+/// Violations accumulated across every check this run (atomic: throughput
+/// certificates run inside exec pool workers).
+inline std::atomic<std::size_t>& selfcheck_violations() {
+  static std::atomic<std::size_t> count{0};
+  return count;
+}
+
+/// Registers the shared `--selfcheck` flag (every bench grows one).
+inline void add_selfcheck_flag(util::CliParser& cli, bool* flag) {
+  cli.add_bool("selfcheck", flag,
+               "validate every topology and certify every solver result (exit 1 on "
+               "any violation)");
+}
+
+inline void apply_selfcheck(bool on) { selfcheck_enabled() = on; }
+
+/// Records a report: prints violations (single fwrite-backed fprintf per
+/// report, safe from pool workers) and accumulates the count.
+inline void selfcheck_record(const check::Report& report, const char* what) {
+  if (report.ok()) return;
+  selfcheck_violations().fetch_add(report.violations.size(), std::memory_order_relaxed);
+  std::string text = report.to_string();
+  std::fprintf(stderr, "selfcheck[%s]: %zu violation(s)\n%s\n", what,
+               report.violations.size(), text.c_str());
+}
+
+/// Validates a topology under --selfcheck (no-op otherwise).
+inline void check_topology(const topo::Topology& t, const char* what,
+                           const check::TopologyCheckOptions& options = {}) {
+  if (!selfcheck_enabled()) return;
+  selfcheck_record(check::validate(t, options), what);
+}
+
+/// Equipment-parity check between two builds under --selfcheck (no-op
+/// otherwise). Conversions re-use the same hardware, so any two builds at
+/// the same (k, oversubscription) must agree on the equipment inventory.
+inline void check_parity(const topo::Topology& a, const topo::Topology& b,
+                         const char* what, bool require_equal_links = true) {
+  if (!selfcheck_enabled()) return;
+  selfcheck_record(check::equipment_parity(a, b, require_equal_links), what);
+}
+
+/// Final verdict for main(): prints a summary and returns the exit code.
+inline int selfcheck_exit() {
+  if (!selfcheck_enabled()) return 0;
+  std::size_t violations = selfcheck_violations().load();
+  if (violations == 0) {
+    std::fprintf(stderr, "selfcheck: OK (0 violations)\n");
+    return 0;
+  }
+  std::fprintf(stderr, "selfcheck: FAILED (%zu violation(s))\n", violations);
+  return 1;
+}
 
 /// Paths for the shared observability flags. Empty = that output disabled.
 struct ObsFlags {
@@ -90,8 +163,15 @@ inline double throughput(const topo::Topology& topo,
   if (commodities.empty()) return 0.0;
   mcf::McfOptions opt;
   opt.epsilon = epsilon;
-  opt.compute_upper_bound = upper != nullptr;
+  // Certification needs the dual bound for the bracket check, so selfcheck
+  // forces the upper bound on even when the caller does not want it.
+  opt.compute_upper_bound = upper != nullptr || selfcheck_enabled();
   auto r = mcf::max_concurrent_flow(topo.graph(), commodities, opt);
+  if (selfcheck_enabled()) {
+    check::CertifyOptions copt;
+    copt.epsilon = epsilon;
+    selfcheck_record(check::certify(topo.graph(), commodities, r, copt), "mcf");
+  }
   if (upper != nullptr) *upper = r.lambda_upper;
   return r.lambda_lower;
 }

@@ -1,0 +1,123 @@
+#include "check/certify.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace flattree::check {
+
+namespace {
+
+/// Tolerance-aware x <= y.
+bool leq(double x, double y, const CertifyOptions& o) {
+  return x <= y * (1.0 + o.rel_tol) + o.abs_tol;
+}
+
+}  // namespace
+
+Report certify(const graph::Graph& g, const std::vector<mcf::Commodity>& commodities,
+               const mcf::McfResult& result, const CertifyOptions& options) {
+  count_run();
+  Report report;
+  const std::size_t arcs = g.link_count() * 2;
+
+  report.note_check();
+  if (result.arc_flow.size() != arcs) {
+    report.add("mcf.arc_flow_size",
+               "arc_flow has " + std::to_string(result.arc_flow.size()) +
+                   " entries, expected " + std::to_string(arcs));
+    return report;  // nothing below is meaningful
+  }
+  report.note_check();
+  if (result.commodity_routed.size() != commodities.size()) {
+    report.add("mcf.routed_size",
+               "commodity_routed has " + std::to_string(result.commodity_routed.size()) +
+                   " entries for " + std::to_string(commodities.size()) + " commodities");
+    return report;
+  }
+
+  // (1) Capacity feasibility of the rescaled arc flows. Arc 2l = link l
+  // (a->b), arc 2l+1 = (b->a), each with the full link capacity.
+  report.note_check();
+  for (std::size_t a = 0; a < arcs; ++a) {
+    double cap = g.link(static_cast<graph::LinkId>(a / 2)).capacity;
+    if (leq(result.arc_flow[a], cap, options)) continue;
+    std::ostringstream os;
+    os << "arc " << a << " (link " << a / 2 << (a % 2 == 0 ? " forward" : " reverse")
+       << ") carries " << result.arc_flow[a] << " over capacity " << cap;
+    report.add("mcf.capacity", os.str());
+  }
+
+  // (2) Flow conservation: the divergence of arc_flow at every node must
+  // match the net supply implied by the per-commodity routed totals. This
+  // is the aggregate of per-commodity conservation — each commodity's
+  // paths leave its source and enter its sink, so summed over commodities
+  // the only nonzero divergences sit at commodity endpoints.
+  report.note_check();
+  std::vector<double> divergence(g.node_count(), 0.0);
+  std::vector<double> gross(g.node_count(), 0.0);  // tolerance scale per node
+  for (std::size_t a = 0; a < arcs; ++a) {
+    const graph::Link& link = g.link(static_cast<graph::LinkId>(a / 2));
+    graph::NodeId tail = a % 2 == 0 ? link.a : link.b;
+    graph::NodeId head = a % 2 == 0 ? link.b : link.a;
+    divergence[tail] += result.arc_flow[a];
+    divergence[head] -= result.arc_flow[a];
+    gross[tail] += result.arc_flow[a];
+    gross[head] += result.arc_flow[a];
+  }
+  for (std::size_t i = 0; i < commodities.size(); ++i) {
+    divergence[commodities[i].src] -= result.commodity_routed[i];
+    divergence[commodities[i].dst] += result.commodity_routed[i];
+    gross[commodities[i].src] += result.commodity_routed[i];
+    gross[commodities[i].dst] += result.commodity_routed[i];
+  }
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    double slack = options.abs_tol + options.rel_tol * std::max(1.0, gross[v]);
+    if (std::abs(divergence[v]) <= slack) continue;
+    std::ostringstream os;
+    os << "node " << v << " has net divergence " << divergence[v]
+       << " beyond the routed supply (tolerance " << slack << ")";
+    report.add("mcf.conservation", os.str());
+  }
+
+  // (3) Primal support: every commodity ships at least lambda_lower times
+  // its demand — otherwise lambda_lower was not actually achieved.
+  report.note_check();
+  for (std::size_t i = 0; i < commodities.size(); ++i) {
+    double required = result.lambda_lower * commodities[i].demand;
+    double slack = options.abs_tol + options.rel_tol * std::max(1.0, required);
+    if (result.commodity_routed[i] >= required - slack) continue;
+    std::ostringstream os;
+    os << "commodity " << i << " (" << commodities[i].src << " -> " << commodities[i].dst
+       << ") routed " << result.commodity_routed[i] << " < lambda_lower * demand = "
+       << required;
+    report.add("mcf.primal_support", os.str());
+  }
+
+  // (4) Bracket sanity. lambda_upper is +inf when the dual sweep was
+  // skipped, which brackets trivially.
+  report.note_check();
+  if (!leq(result.lambda_lower, result.lambda_upper, options)) {
+    std::ostringstream os;
+    os << "lambda_lower " << result.lambda_lower << " exceeds lambda_upper "
+       << result.lambda_upper;
+    report.add("mcf.bracket", os.str());
+  }
+
+  // (5) FPTAS gap, converged runs only (truncated runs carry no promise).
+  if (options.epsilon > 0.0 && options.epsilon < 1.0 / 3.0 && !result.truncated &&
+      std::isfinite(result.lambda_upper)) {
+    report.note_check();
+    double floor = (1.0 - 3.0 * options.epsilon) * result.lambda_upper;
+    if (!leq(floor, result.lambda_lower, options)) {
+      std::ostringstream os;
+      os << "lambda_lower " << result.lambda_lower << " below the (1 - 3*eps) FPTAS floor "
+         << floor << " of lambda_upper " << result.lambda_upper << " (eps "
+         << options.epsilon << ")";
+      report.add("mcf.fptas_gap", os.str());
+    }
+  }
+  return report;
+}
+
+}  // namespace flattree::check

@@ -1,0 +1,49 @@
+#pragma once
+// Solver certificates for max-concurrent-flow results.
+//
+// A Garg-Koenemann answer is only trustworthy if its self-certificate
+// actually holds; FPTAS implementations are notorious for quietly
+// returning primal/dual "bounds" that fail to bracket the optimum after a
+// rescaling or termination bug. certify() re-derives every claim from the
+// McfResult's own evidence (rescaled arc flows + per-commodity routed
+// totals), independently of the solver's internal state:
+//
+//   1. capacity feasibility: arc_flow[a] <= cap[a] on every arc;
+//   2. flow conservation: per-node divergence of arc_flow equals the net
+//      routed supply/demand implied by commodity_routed;
+//   3. primal support: commodity_routed[i] >= lambda_lower * demand[i]
+//      (so lambda_lower is genuinely achieved by the shipped flow);
+//   4. bracket sanity: lambda_lower <= lambda_upper;
+//   5. FPTAS gap: on converged runs (result.truncated == false),
+//      lambda_lower >= (1 - 3*epsilon) * lambda_upper — the guarantee
+//      documented in mcf/garg_koenemann.hpp. Truncated runs keep valid
+//      bounds but carry no gap promise, so the gap check is skipped.
+//
+// All comparisons are tolerance-aware (floating-point accumulation over
+// ~1/eps^2 augmentations): x <= y is checked as x <= y * (1 + rel_tol) +
+// abs_tol.
+
+#include <vector>
+
+#include "check/report.hpp"
+#include "graph/graph.hpp"
+#include "mcf/commodity.hpp"
+#include "mcf/garg_koenemann.hpp"
+
+namespace flattree::check {
+
+struct CertifyOptions {
+  /// The epsilon the solve ran with; enables the FPTAS gap check (5) when
+  /// in (0, 1/3). 0 skips the gap check.
+  double epsilon = 0.0;
+  double rel_tol = 1e-7;
+  double abs_tol = 1e-9;
+};
+
+/// Certifies `result` as a solution of max_concurrent_flow(g, commodities).
+/// Codes: mcf.arc_flow_size, mcf.routed_size, mcf.capacity,
+/// mcf.conservation, mcf.primal_support, mcf.bracket, mcf.fptas_gap.
+Report certify(const graph::Graph& g, const std::vector<mcf::Commodity>& commodities,
+               const mcf::McfResult& result, const CertifyOptions& options = {});
+
+}  // namespace flattree::check

@@ -1,0 +1,24 @@
+#pragma once
+// Umbrella header for the self-checking subsystem.
+//
+// src/check turns "the numbers look plausible" into machine-verified
+// invariants: topology validators (check/invariants.hpp), solver
+// certificates (check/certify.hpp), routing checks
+// (check/routing_check.hpp), and the GK-vs-exact-LP differential harness
+// (check/differential.hpp). Everything reports through check::Report and
+// bumps the check.violations / check.runs obs counters, so any bench run
+// with --selfcheck and --metrics-json carries the verdict in its run
+// manifest.
+//
+// Entry points:
+//   check::validate(topology[, options])   — invariant battery
+//   check::equipment_parity(a, b)          — same-hardware cross-check
+//   check::certify(graph, commodities, mcf_result[, options])
+//   check::validate_paths / validate_fib_progress
+//   check::run_differential(spec)          — tests only (exact LP inside)
+
+#include "check/certify.hpp"
+#include "check/differential.hpp"
+#include "check/invariants.hpp"
+#include "check/report.hpp"
+#include "check/routing_check.hpp"

@@ -1,0 +1,38 @@
+#include "check/report.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace flattree::check {
+
+namespace {
+
+obs::Counter c_violations("check.violations");
+obs::Counter c_runs("check.runs");
+
+}  // namespace
+
+void Report::add(std::string code, std::string message) {
+  c_violations.inc();
+  violations.push_back(Violation{std::move(code), std::move(message)});
+}
+
+void Report::merge(const Report& other) {
+  violations.insert(violations.end(), other.violations.begin(), other.violations.end());
+  checks_run += other.checks_run;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.code;
+    out += ": ";
+    out += v.message;
+    out += '\n';
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+void count_run() { c_runs.inc(); }
+
+}  // namespace flattree::check

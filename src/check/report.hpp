@@ -1,0 +1,47 @@
+#pragma once
+// Violation reports shared by every validator in src/check.
+//
+// Validators never throw on a failed invariant (throwing is reserved for
+// misuse of the checking API itself): they accumulate Violations into a
+// Report so a caller can run the whole battery, print every finding, and
+// decide what is fatal. Each recorded violation also bumps the
+// `check.violations` obs counter, so any bench run with --selfcheck and
+// --metrics-json surfaces violations in its run manifest; `check.runs`
+// counts validator invocations for coverage accounting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flattree::check {
+
+/// One failed invariant. `code` is a stable dotted identifier (e.g.
+/// "topo.port_budget", "mcf.capacity") for programmatic filtering;
+/// `message` carries the specifics (ids, values, bounds).
+struct Violation {
+  std::string code;
+  std::string message;
+};
+
+/// Outcome of one or more validator runs.
+struct Report {
+  std::vector<Violation> violations;
+  std::uint64_t checks_run = 0;  ///< individual invariants evaluated
+
+  bool ok() const { return violations.empty(); }
+
+  /// Records a violation (and bumps the `check.violations` counter).
+  void add(std::string code, std::string message);
+  /// Counts an evaluated invariant (cheap; call once per logical check).
+  void note_check(std::uint64_t n = 1) { checks_run += n; }
+  /// Appends another report's findings and counts.
+  void merge(const Report& other);
+
+  /// All violations, one "code: message" line each ("" when ok()).
+  std::string to_string() const;
+};
+
+/// Bumps `check.runs` (validators call this once on entry).
+void count_run();
+
+}  // namespace flattree::check

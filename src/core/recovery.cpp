@@ -13,6 +13,7 @@ obs::Counter c_failures_applied("core.recovery.failure_sets_applied");
 obs::Counter c_failed_links("core.recovery.failed_links");
 obs::Counter c_recovery_plans("core.recovery.plans");
 obs::Counter c_rewired("core.recovery.converters_rewired");
+obs::Counter c_unrecoverable("core.recovery.unrecoverable");
 
 }  // namespace
 
@@ -64,47 +65,68 @@ topo::NodeId server_home(const Converter& c, ConverterConfig cfg) {
   return c.edge;
 }
 
-/// Best standalone configuration avoiding failed switches (prefer the
-/// aggregation home; fall back to the edge; keep `local` if both died —
-/// nothing reachable remains for that server).
-ConverterConfig safe_standalone(const Converter& c, const FailureSet& failures) {
-  if (!failures.contains(c.agg)) return ConverterConfig::Local;
-  if (!failures.contains(c.edge)) return ConverterConfig::Default;
-  return ConverterConfig::Local;
+/// Best standalone configuration avoiding failed switches: prefer the
+/// aggregation home, fall back to the edge. When both died no live home
+/// remains — `recovered` is false and the (still stranded) server keeps
+/// the `local` configuration; the caller reports it as unrecoverable
+/// instead of pretending the flip rescued it.
+struct StandaloneChoice {
+  ConverterConfig config = ConverterConfig::Local;
+  bool recovered = true;
+};
+
+StandaloneChoice safe_standalone(const Converter& c, const FailureSet& failures) {
+  if (!failures.contains(c.agg)) return {ConverterConfig::Local, true};
+  if (!failures.contains(c.edge)) return {ConverterConfig::Default, true};
+  return {ConverterConfig::Local, false};
 }
 
 }  // namespace
 
-std::vector<ConverterConfig> plan_recovery(const FlatTreeNetwork& net,
-                                           const std::vector<ConverterConfig>& configs,
-                                           const FailureSet& failures) {
+RecoveryPlan plan_recovery(const FlatTreeNetwork& net,
+                           const std::vector<ConverterConfig>& configs,
+                           const FailureSet& failures) {
   OBS_SPAN("core.recovery.plan");
   c_recovery_plans.inc();
-  std::vector<ConverterConfig> recovered = configs;
+  RecoveryPlan plan;
+  plan.configs = configs;
+  std::vector<ConverterConfig>& recovered = plan.configs;
   const auto& converters = net.converters();
+  std::vector<char> flipped(converters.size(), 0);
+  auto flip_standalone = [&](std::uint32_t idx) {
+    StandaloneChoice choice = safe_standalone(converters[idx], failures);
+    recovered[idx] = choice.config;
+    flipped[idx] = 1;
+    if (!choice.recovered) plan.unrecoverable.push_back(idx);
+  };
   for (std::uint32_t i = 0; i < converters.size(); ++i) {
+    if (flipped[i]) continue;  // peer of an already-handled pair
     const Converter& c = converters[i];
     ConverterConfig cfg = recovered[i];
     bool paired_cfg = cfg == ConverterConfig::Side || cfg == ConverterConfig::Cross;
     if (paired_cfg) {
       // A side/cross pair is a joint configuration: if either end homes
       // its server on a failed core, flip BOTH ends to safe standalone
-      // configurations (standalone choices need not match).
+      // configurations (standalone choices need not match). The loop
+      // visits the pair at its lower index while both ends still carry
+      // the paired config, so each pair is handled exactly once.
       const Converter& peer = converters[c.peer];
       if (!failures.contains(c.core) && !failures.contains(peer.core)) continue;
-      recovered[i] = safe_standalone(c, failures);
-      recovered[c.peer] = safe_standalone(peer, failures);
+      flip_standalone(i);
+      flip_standalone(c.peer);
     } else if (failures.contains(server_home(c, cfg))) {
-      recovered[i] = safe_standalone(c, failures);
+      flip_standalone(i);
     }
   }
+  std::sort(plan.unrecoverable.begin(), plan.unrecoverable.end());
+  c_unrecoverable.add(plan.unrecoverable.size());
   if (obs::enabled()) {
     std::uint64_t rewired = 0;
     for (std::uint32_t i = 0; i < converters.size(); ++i)
       if (recovered[i] != configs[i]) ++rewired;
     c_rewired.add(rewired);
   }
-  return recovered;
+  return plan;
 }
 
 std::size_t stranded_server_count(const FlatTreeNetwork& net,

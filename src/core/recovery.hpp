@@ -40,14 +40,27 @@ struct DegradedTopology {
 /// switches are reported stranded; all other servers keep their host.
 DegradedTopology apply_failures(const topo::Topology& topo, const FailureSet& failures);
 
+/// Outcome of plan_recovery. `configs` is a valid full assignment
+/// (validate_assignment passes); `unrecoverable` lists the converters
+/// whose tapped server could not be re-homed onto any live switch —
+/// every standalone home (aggregation and edge) failed too. Those
+/// converters keep a standalone configuration in `configs` but their
+/// servers stay stranded; pretending otherwise would silently home them
+/// on a dead switch.
+struct RecoveryPlan {
+  std::vector<ConverterConfig> configs;
+  std::vector<std::uint32_t> unrecoverable;  ///< converter indices, ascending
+};
+
 /// Recovery by reconfiguration: every converter whose configuration homes
-/// its server on a failed core switch (side/cross) is flipped — together
-/// with its peer — to `local`, moving both servers to their aggregation
-/// switches. Returns the updated assignment; configs not affected by the
-/// failures are untouched.
-std::vector<ConverterConfig> plan_recovery(const FlatTreeNetwork& net,
-                                           const std::vector<ConverterConfig>& configs,
-                                           const FailureSet& failures);
+/// its server on a failed switch is flipped — side/cross pairs jointly —
+/// to the best standalone configuration avoiding the failures (prefer the
+/// aggregation home, fall back to the edge). Configs not affected by the
+/// failures are untouched. Converters with no live home are reported in
+/// RecoveryPlan::unrecoverable (obs counter core.recovery.unrecoverable).
+RecoveryPlan plan_recovery(const FlatTreeNetwork& net,
+                           const std::vector<ConverterConfig>& configs,
+                           const FailureSet& failures);
 
 /// Count of servers that would be stranded under `configs` + `failures`
 /// (before applying any recovery).

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "exec/parallel_for.hpp"
 #include "obs/metrics.hpp"
@@ -121,6 +122,14 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   if (eps <= 0.0 || eps >= 1.0)
     throw std::invalid_argument("max_concurrent_flow: epsilon outside (0,1)");
 
+  // Zero or negative capacities would turn delta / cap into inf/NaN and
+  // poison d_sum and every Dijkstra run; reject them before any work.
+  for (const graph::Link& link : g.links()) {
+    if (!(link.capacity > 0.0) || !std::isfinite(link.capacity))
+      throw std::invalid_argument(
+          "max_concurrent_flow: non-positive or non-finite link capacity");
+  }
+
   OBS_SPAN("gk.solve");
   c_gk_solves.inc();
 
@@ -208,6 +217,9 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     h_gk_dsum.observe(d_sum);
   }
   c_gk_phases.add(result.phases);
+  // `done` is only ever set by the D(l) >= 1 termination test, so leaving
+  // the loop without it means max_phases cut the run short.
+  result.truncated = !done;
 
   // Primal bound: rescale by worst congestion.
   double congestion = 0.0;
@@ -223,6 +235,23 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   result.arc_flow = std::move(flow);
   if (congestion > 0.0)
     for (double& f : result.arc_flow) f /= congestion;
+
+  // Per-input-commodity routed totals under the same rescaling, for
+  // solver certificates (check::certify). group_by_source appends targets
+  // in input order within each group, so replaying that order maps
+  // (group, target) back onto the caller's commodity indices exactly.
+  result.commodity_routed.assign(commodities.size(), 0.0);
+  {
+    std::unordered_map<NodeId, std::size_t> group_index;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      group_index.emplace(groups[gi].src, gi);
+    std::vector<std::size_t> next_target(groups.size(), 0);
+    for (std::size_t i = 0; i < commodities.size(); ++i) {
+      std::size_t gi = group_index.at(commodities[i].src);
+      std::size_t ti = next_target[gi]++;
+      result.commodity_routed[i] = congestion > 0.0 ? routed[gi][ti] / congestion : 0.0;
+    }
+  }
 
   // Dual bound under the final lengths: lambda* <= D(l) / alpha(l).
   // One read-only Dijkstra per source group, fanned out over the pool;

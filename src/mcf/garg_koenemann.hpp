@@ -30,6 +30,12 @@ namespace flattree::mcf {
 struct McfOptions {
   double epsilon = 0.2;            ///< FPTAS accuracy knob
   bool compute_upper_bound = true; ///< duality bound sweep at termination
+  /// Phase cap. When hit before the termination test D(l) >= 1 the run is
+  /// *truncated* (see McfResult::truncated): both bounds stay valid —
+  /// lambda_lower is the actually-routed flow rescaled by the observed
+  /// congestion (primal-feasible by construction), lambda_upper is still
+  /// an LP-duality bound — but the FPTAS gap guarantee between them no
+  /// longer applies, so the bracket may be arbitrarily loose.
   std::uint64_t max_phases = 1u << 20;
 };
 
@@ -40,13 +46,26 @@ struct McfResult {
   std::uint64_t phases = 0;
   std::uint64_t augmentations = 0;
   std::uint64_t dijkstra_runs = 0;
+  /// True when max_phases stopped the run before D(l) reached 1. The
+  /// bounds above remain individually valid (feasible lower, duality
+  /// upper) but carry no (1 - 3*eps) gap promise; callers relying on the
+  /// FPTAS guarantee must check this flag (check::certify does).
+  bool truncated = false;
   /// Per-arc routed flow after rescaling (arc 2*l = link l a->b, 2*l+1 =
   /// b->a); max_a flow/cap == 1 after rescaling unless no flow was routed.
   std::vector<double> arc_flow;
+  /// Flow shipped per input commodity (aligned with the `commodities`
+  /// argument), after the same congestion rescaling as arc_flow — so
+  /// commodity_routed[i] >= lambda_lower * demand[i] and the divergence of
+  /// arc_flow at every node equals the net routed supply. check::certify
+  /// verifies both.
+  std::vector<double> commodity_routed;
 };
 
 /// Solves max concurrent flow for `commodities` over `g`. Throws
-/// std::invalid_argument on empty commodities or unreachable pairs.
+/// std::invalid_argument on empty commodities, unreachable pairs, or any
+/// link with a non-positive/non-finite capacity (zero-capacity links would
+/// otherwise poison every length with inf).
 McfResult max_concurrent_flow(const graph::Graph& g,
                               const std::vector<Commodity>& commodities,
                               const McfOptions& options = {});

@@ -1,0 +1,157 @@
+#include "check/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/report.hpp"
+
+namespace flattree::check {
+namespace {
+
+bool has_code(const Report& r, const std::string& code) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [&](const Violation& v) { return v.code == code; });
+}
+
+/// Diamond 0-1-3 / 0-2-3 plus a chord; two commodities.
+struct Instance {
+  graph::Graph g{4};
+  std::vector<mcf::Commodity> cs;
+  mcf::McfResult r;
+
+  explicit Instance(double epsilon = 0.05) {
+    g.add_link(0, 1, 1.0);
+    g.add_link(1, 3, 1.0);
+    g.add_link(0, 2, 1.0);
+    g.add_link(2, 3, 0.5);
+    g.add_link(1, 2, 2.0);
+    cs = {{0, 3, 1.0}, {1, 2, 0.5}};
+    mcf::McfOptions opt;
+    opt.epsilon = epsilon;
+    r = mcf::max_concurrent_flow(g, cs, opt);
+  }
+};
+
+TEST(Certify, GenuineResultPasses) {
+  Instance in;
+  CertifyOptions opts;
+  opts.epsilon = 0.05;
+  Report report = certify(in.g, in.cs, in.r, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(report.checks_run, 5u);
+}
+
+TEST(Certify, SizeMismatchesShortCircuit) {
+  Instance in;
+  mcf::McfResult bad = in.r;
+  bad.arc_flow.pop_back();
+  Report r1 = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(r1, "mcf.arc_flow_size"));
+  EXPECT_EQ(r1.violations.size(), 1u);  // nothing else is meaningful
+
+  bad = in.r;
+  bad.commodity_routed.push_back(0.0);
+  Report r2 = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(r2, "mcf.routed_size"));
+}
+
+TEST(Certify, OverCapacityDetected) {
+  Instance in;
+  mcf::McfResult bad = in.r;
+  bad.arc_flow[0] = in.g.link(0).capacity * 1.5;
+  Report report = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(report, "mcf.capacity")) << report.to_string();
+}
+
+TEST(Certify, ConservationViolationDetected) {
+  Instance in;
+  mcf::McfResult bad = in.r;
+  // Inject flow out of thin air on one arc: divergence breaks at both
+  // endpoints (the arc stays within capacity).
+  bad.arc_flow[8] += 0.25;
+  Report report = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(report, "mcf.conservation")) << report.to_string();
+}
+
+TEST(Certify, InflatedRoutedTotalDetected) {
+  Instance in;
+  mcf::McfResult bad = in.r;
+  // Claim a commodity shipped more than its paths carried.
+  bad.commodity_routed[0] += 0.5;
+  Report report = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(report, "mcf.conservation")) << report.to_string();
+}
+
+TEST(Certify, UnachievedLambdaDetected) {
+  Instance in;
+  mcf::McfResult bad = in.r;
+  // Claim a higher certified bound than the flows support. Dropping a
+  // commodity's routed total breaks primal support without touching flows.
+  bad.commodity_routed[0] *= 0.5;
+  Report report = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(report, "mcf.primal_support")) << report.to_string();
+}
+
+TEST(Certify, InvertedBracketDetected) {
+  Instance in;
+  mcf::McfResult bad = in.r;
+  bad.lambda_upper = bad.lambda_lower * 0.5;
+  Report report = certify(in.g, in.cs, bad);
+  EXPECT_TRUE(has_code(report, "mcf.bracket")) << report.to_string();
+}
+
+TEST(Certify, FptasGapCheckedOnlyWhenMeaningful) {
+  Instance in;
+  // A fabricated huge upper bound breaks the (1 - 3 eps) floor.
+  mcf::McfResult bad = in.r;
+  bad.lambda_upper = bad.lambda_lower * 10.0;
+  CertifyOptions opts;
+  opts.epsilon = 0.05;
+  EXPECT_TRUE(has_code(certify(in.g, in.cs, bad, opts), "mcf.fptas_gap"));
+  // No epsilon -> no gap check.
+  EXPECT_FALSE(has_code(certify(in.g, in.cs, bad), "mcf.fptas_gap"));
+  // Truncated runs carry no gap promise.
+  bad.truncated = true;
+  EXPECT_FALSE(has_code(certify(in.g, in.cs, bad, opts), "mcf.fptas_gap"));
+  // eps >= 1/3 makes the floor vacuous-or-negative; skipped.
+  bad.truncated = false;
+  opts.epsilon = 0.5;
+  EXPECT_FALSE(has_code(certify(in.g, in.cs, bad, opts), "mcf.fptas_gap"));
+}
+
+TEST(Certify, TruncatedRunStillCertifiesPrimally) {
+  // max_phases = 1: bounds hold, flows feasible, certificate passes (gap
+  // check skipped via result.truncated).
+  graph::Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(2, 3, 0.5);
+  g.add_link(0, 3, 1.0);
+  std::vector<mcf::Commodity> cs{{0, 3, 1.0}, {1, 3, 0.5}};
+  mcf::McfOptions opt;
+  opt.epsilon = 0.05;
+  opt.max_phases = 1;
+  auto r = mcf::max_concurrent_flow(g, cs, opt);
+  ASSERT_TRUE(r.truncated);
+  CertifyOptions opts;
+  opts.epsilon = 0.05;
+  Report report = certify(g, cs, r, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Certify, SkippedUpperBoundBracketsTrivially) {
+  graph::Graph g(2);
+  g.add_link(0, 1, 1.0);
+  mcf::McfOptions opt;
+  opt.epsilon = 0.1;
+  opt.compute_upper_bound = false;
+  auto r = mcf::max_concurrent_flow(g, {{0, 1, 1.0}}, opt);
+  CertifyOptions opts;
+  opts.epsilon = 0.1;  // gap check must self-skip on the infinite upper
+  Report report = certify(g, {{0, 1, 1.0}}, r, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace flattree::check

@@ -1,0 +1,75 @@
+#include "check/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hpp"
+
+namespace flattree::check {
+namespace {
+
+TEST(Differential, GkAgreesWithExactLpAcrossSeeds) {
+  // The PR's acceptance bar: on small instances GK must land within
+  // (1 + eps) of the exact LP optimum and bracket it, every seed.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    DifferentialSpec spec;
+    spec.seed = seed;
+    DifferentialOutcome out = run_differential(spec);
+    EXPECT_TRUE(out.report.ok())
+        << "seed " << seed << ":\n" << out.report.to_string();
+    EXPECT_GT(out.exact, 0.0) << "seed " << seed;
+    EXPECT_GT(out.gk.lambda_lower, 0.0) << "seed " << seed;
+  }
+}
+
+TEST(Differential, SimpleGraphInstances) {
+  DifferentialSpec spec;
+  spec.seed = 5;
+  spec.parallel_links = false;
+  DifferentialOutcome out = run_differential(spec);
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  // The generator honored the simple-graph request.
+  topo::Topology t;
+  for (graph::NodeId v = 0; v < out.graph.node_count(); ++v)
+    t.add_switch(topo::SwitchKind::Edge, 0, v,
+                 static_cast<std::uint32_t>(out.graph.node_count()) * 2);
+  for (graph::LinkId l = 0; l < out.graph.link_count(); ++l) {
+    const graph::Link& link = out.graph.link(l);
+    t.add_link(link.a, link.b, topo::LinkOrigin::Random, link.capacity);
+  }
+  TopologyCheckOptions opts;
+  opts.allow_parallel_links = false;
+  EXPECT_TRUE(validate(t, opts).ok());
+}
+
+TEST(Differential, TighterEpsilonStillAgrees) {
+  DifferentialSpec spec;
+  spec.seed = 11;
+  spec.epsilon = 0.02;
+  spec.nodes = 8;
+  spec.extra_links = 6;
+  spec.commodities = 4;
+  DifferentialOutcome out = run_differential(spec);
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  // Bracket actually contains the exact optimum.
+  EXPECT_LE(out.gk.lambda_lower, out.exact * (1.0 + 1e-6));
+  EXPECT_GE(out.gk.lambda_upper, out.exact * (1.0 - 1e-6));
+}
+
+TEST(Differential, StrictGapFactorCanFail) {
+  // A gap factor of 1.0 demands lambda_lower == exact, which an FPTAS with
+  // eps = 0.3 generally misses — proving the harness actually compares.
+  bool saw_gap_violation = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !saw_gap_violation; ++seed) {
+    DifferentialSpec spec;
+    spec.seed = seed;
+    spec.epsilon = 0.3;
+    spec.gap_factor = 1.0000001;
+    DifferentialOutcome out = run_differential(spec);
+    for (const Violation& v : out.report.violations)
+      if (v.code == "diff.gap") saw_gap_violation = true;
+  }
+  EXPECT_TRUE(saw_gap_violation);
+}
+
+}  // namespace
+}  // namespace flattree::check

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/bfs.hpp"
 
 namespace flattree::core {
@@ -81,7 +83,7 @@ TEST(PlanRecovery, RescuesServersFromFailedCore) {
   std::size_t before = stranded_server_count(net, configs, f);
   EXPECT_GT(before, 0u);
 
-  auto recovered = plan_recovery(net, configs, f);
+  auto recovered = plan_recovery(net, configs, f).configs;
   EXPECT_EQ(validate_assignment(net.converters(), recovered), "");
   EXPECT_EQ(stranded_server_count(net, recovered, f), 0u);
 }
@@ -94,7 +96,7 @@ TEST(PlanRecovery, RescuesServersFromFailedEdge) {
   std::size_t before = stranded_server_count(net, configs, f);
   EXPECT_EQ(before, net.params().servers_per_edge());
 
-  auto recovered = plan_recovery(net, configs, f);
+  auto recovered = plan_recovery(net, configs, f).configs;
   // The m + n tapped servers move to the aggregation switch; the rest are
   // hard-wired to the failed edge switch and cannot be saved.
   std::size_t after = stranded_server_count(net, recovered, f);
@@ -114,7 +116,7 @@ TEST(PlanRecovery, UntouchedWhenNoRelevantFailure) {
       break;
     }
   if (f.failed_switches.empty()) GTEST_SKIP() << "all cores host servers";
-  auto recovered = plan_recovery(net, configs, f);
+  auto recovered = plan_recovery(net, configs, f).configs;
   EXPECT_EQ(recovered, configs);
 }
 
@@ -131,7 +133,7 @@ TEST(PlanRecovery, PairFlippedJointly) {
   ASSERT_NE(idx, ~0u);
   FailureSet f;
   f.failed_switches = {net.converters()[idx].core};
-  auto recovered = plan_recovery(net, configs, f);
+  auto recovered = plan_recovery(net, configs, f).configs;
   std::uint32_t peer = net.converters()[idx].peer;
   EXPECT_EQ(recovered[idx], ConverterConfig::Local);
   EXPECT_EQ(recovered[peer], ConverterConfig::Local);
@@ -150,8 +152,66 @@ TEST(PlanRecovery, FallsBackToEdgeWhenAggAlsoFailed) {
   const Converter& c = net.converters()[idx];
   FailureSet f;
   f.failed_switches = {c.core, c.agg};
-  auto recovered = plan_recovery(net, configs, f);
+  auto recovered = plan_recovery(net, configs, f).configs;
   EXPECT_EQ(recovered[idx], ConverterConfig::Default);  // edge still alive
+}
+
+TEST(PlanRecovery, ReportsUnrecoverableWhenAggAndEdgeBothFailed) {
+  // Regression: safe_standalone used to return Local when both standalone
+  // homes had failed, silently homing the server on the dead aggregation
+  // switch and reporting the recovery as successful.
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  std::uint32_t idx = ~0u;
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (configs[i] == ConverterConfig::Side) {
+      idx = i;
+      break;
+    }
+  ASSERT_NE(idx, ~0u);
+  const Converter& c = net.converters()[idx];
+  FailureSet f;
+  f.failed_switches = {c.core, c.agg, c.edge};
+  RecoveryPlan plan = plan_recovery(net, configs, f);
+  // The converter is reported unrecoverable, not silently "rescued".
+  // (Other converters tapping the same failed edge/agg blade are reported
+  // too; every reported converter must genuinely have both homes dead.)
+  EXPECT_TRUE(std::find(plan.unrecoverable.begin(), plan.unrecoverable.end(), idx) !=
+              plan.unrecoverable.end());
+  for (std::uint32_t u : plan.unrecoverable) {
+    EXPECT_TRUE(f.contains(net.converters()[u].agg));
+    EXPECT_TRUE(f.contains(net.converters()[u].edge));
+  }
+  // The assignment stays physically valid and the peer (whose own homes
+  // are in the adjacent pod) is recovered normally.
+  EXPECT_EQ(validate_assignment(net.converters(), plan.configs), "");
+  std::uint32_t peer = c.peer;
+  EXPECT_EQ(plan.configs[peer], ConverterConfig::Local);
+  // The stranded count agrees: the unrecoverable server stays stranded.
+  std::size_t stranded = stranded_server_count(net, plan.configs, f);
+  EXPECT_GE(stranded, plan.unrecoverable.size());
+  topo::Topology t = net.materialize(plan.configs);
+  EXPECT_TRUE(f.contains(t.host(c.server)));
+}
+
+TEST(PlanRecovery, UnrecoverableFourPortConverter) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  std::uint32_t idx = ~0u;
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (net.converters()[i].type == ConverterType::FourPort) {
+      idx = i;
+      break;
+    }
+  ASSERT_NE(idx, ~0u);
+  ASSERT_EQ(configs[idx], ConverterConfig::Local);  // global-random 4-port
+  const Converter& c = net.converters()[idx];
+  FailureSet f;
+  f.failed_switches = {c.agg, c.edge};
+  RecoveryPlan plan = plan_recovery(net, configs, f);
+  ASSERT_FALSE(plan.unrecoverable.empty());
+  EXPECT_TRUE(std::find(plan.unrecoverable.begin(), plan.unrecoverable.end(), idx) !=
+              plan.unrecoverable.end());
 }
 
 TEST(Recovery, DegradedThroughputImproves) {
@@ -167,7 +227,7 @@ TEST(Recovery, DegradedThroughputImproves) {
       f.failed_switches.push_back(v);
       break;
     }
-  auto recovered = plan_recovery(net, configs, f);
+  auto recovered = plan_recovery(net, configs, f).configs;
   DegradedTopology d = apply_failures(net.materialize(recovered), f);
   EXPECT_TRUE(d.stranded_servers.empty());
   // Every surviving server pair still connected through the degraded net.

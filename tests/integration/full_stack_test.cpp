@@ -69,9 +69,10 @@ TEST(FullStack, FailRecoverRerouteResume) {
     }
   ASSERT_FALSE(failures.failed_switches.empty());
 
-  auto recovered = core::plan_recovery(net, configs, failures);
+  core::RecoveryPlan plan = core::plan_recovery(net, configs, failures);
+  EXPECT_TRUE(plan.unrecoverable.empty());
   core::DegradedTopology degraded =
-      core::apply_failures(net.materialize(recovered), failures);
+      core::apply_failures(net.materialize(plan.configs), failures);
   ASSERT_TRUE(degraded.stranded_servers.empty());
 
   routing::EcmpRouting routing(degraded.topo.graph());

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 #include <cmath>
+#include <limits>
 
 
 namespace flattree::mcf {
@@ -148,6 +149,87 @@ TEST(GargKoenemann, UpperBoundSkippable) {
   auto r = max_concurrent_flow(g, {{0, 1, 1.0}}, o);
   EXPECT_GT(r.lambda_lower, 0.0);
   EXPECT_TRUE(std::isinf(r.lambda_upper));
+}
+
+TEST(GargKoenemann, RejectsZeroCapacityLinks) {
+  // Regression: length[a] = delta / cap used to divide by zero (or produce
+  // a zero length for an infinite capacity), poisoning d_sum and every
+  // Dijkstra run with inf/NaN instead of failing fast. Zero and negative
+  // capacities are rejected at graph construction; non-finite ones pass
+  // add_link's `capacity <= 0` guard and must be rejected by the solver.
+  graph::Graph g(3);
+  g.add_link(0, 1, 1.0);
+  EXPECT_THROW(g.add_link(1, 2, 0.0), std::invalid_argument);
+
+  graph::Graph neg(2);
+  EXPECT_THROW(neg.add_link(0, 1, -2.0), std::invalid_argument);
+
+  graph::Graph inf_cap(2);
+  inf_cap.add_link(0, 1, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(max_concurrent_flow(inf_cap, {{0, 1, 1.0}}, tight()),
+               std::invalid_argument);
+
+  graph::Graph nan_cap(2);
+  nan_cap.add_link(0, 1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(max_concurrent_flow(nan_cap, {{0, 1, 1.0}}, tight()),
+               std::invalid_argument);
+}
+
+TEST(GargKoenemann, TruncatedRunKeepsPrimalFeasibleLowerBound) {
+  // Stop the solver after a single phase: the reported lambda_lower must
+  // still be achieved by the rescaled flows (primal-feasible), the flag
+  // must say the run was truncated, and the bounds must still bracket.
+  graph::Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(2, 3, 0.5);
+  g.add_link(0, 3, 1.0);
+  std::vector<Commodity> cs{{0, 3, 1.0}, {1, 3, 0.5}};
+  McfOptions o;
+  o.epsilon = 0.05;
+  o.max_phases = 1;
+  auto r = max_concurrent_flow(g, cs, o);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_GT(r.lambda_lower, 0.0);
+  EXPECT_LE(r.lambda_lower, r.lambda_upper * (1 + 1e-9));
+  // Primal feasibility after rescaling: no arc over capacity, and every
+  // commodity ships at least lambda_lower times its demand.
+  ASSERT_EQ(r.arc_flow.size(), g.link_count() * 2);
+  for (std::size_t a = 0; a < r.arc_flow.size(); ++a) {
+    double cap = g.link(static_cast<graph::LinkId>(a / 2)).capacity;
+    EXPECT_LE(r.arc_flow[a], cap * (1.0 + 1e-9));
+  }
+  ASSERT_EQ(r.commodity_routed.size(), cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    EXPECT_GE(r.commodity_routed[i], r.lambda_lower * cs[i].demand - 1e-9);
+  // A converged run reports truncated == false.
+  auto full = max_concurrent_flow(g, cs, tight());
+  EXPECT_FALSE(full.truncated);
+}
+
+TEST(GargKoenemann, CommodityRoutedMatchesArcFlowDivergence) {
+  graph::Graph g(5);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 1.5);
+  g.add_link(2, 3, 0.7);
+  g.add_link(3, 4, 1.0);
+  g.add_link(4, 0, 2.0);
+  g.add_link(1, 3, 1.0);
+  std::vector<Commodity> cs{{0, 2, 1.0}, {0, 3, 0.5}, {2, 4, 1.5}};
+  auto r = max_concurrent_flow(g, cs, tight());
+  ASSERT_EQ(r.commodity_routed.size(), cs.size());
+  // Divergence of arc_flow at each node == net routed supply there.
+  std::vector<double> div(g.node_count(), 0.0);
+  for (std::size_t a = 0; a < r.arc_flow.size(); ++a) {
+    const graph::Link& l = g.link(static_cast<graph::LinkId>(a / 2));
+    div[a % 2 == 0 ? l.a : l.b] += r.arc_flow[a];
+    div[a % 2 == 0 ? l.b : l.a] -= r.arc_flow[a];
+  }
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    div[cs[i].src] -= r.commodity_routed[i];
+    div[cs[i].dst] += r.commodity_routed[i];
+  }
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) EXPECT_NEAR(div[v], 0.0, 1e-7);
 }
 
 TEST(GargKoenemann, StatsPopulated) {
