@@ -8,9 +8,13 @@
 // reroute; flat-tree additionally re-homes servers by flipping converters.
 
 #include <cstdio>
+#include <memory>
 
 #include "common.hpp"
 #include "core/recovery.hpp"
+#include "inc/apl.hpp"
+#include "inc/dynamic_bfs.hpp"
+#include "topo/apl.hpp"
 
 using namespace flattree;
 
@@ -25,18 +29,21 @@ int main(int argc, char** argv) {
   cli.add_int("seeds", &seeds, "failure draws to average");
   cli.add_int("seed", &seed, "base RNG seed");
   cli.add_double("eps", &eps, "Garg-Koenemann epsilon");
-  bool selfcheck = false;
+  bool selfcheck = false, incremental = false;
   bench::add_threads_flag(cli, &threads);
   bench::add_selfcheck_flag(cli, &selfcheck);
+  bench::add_incremental_flag(cli, &incremental);
   bench::ObsFlags obsf;
   bench::add_obs_flags(cli, &obsf);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   bench::apply_threads(threads);
   bench::apply_selfcheck(selfcheck);
+  bench::apply_incremental(incremental);
   bench::ObsScope obs_run(obsf, argc, argv);
   obs_run.set_int("threads", threads);
   obs_run.set_int("seed", seed);
   obs_run.set_double("eps", eps);
+  obs_run.set_int("incremental", incremental ? 1 : 0);
 
   const std::uint32_t ku = static_cast<std::uint32_t>(k);
   core::FlatTreeNetwork net = bench::profiled_network(ku);
@@ -51,9 +58,20 @@ int main(int argc, char** argv) {
                                           net.params().servers_per_pod(), wl);
   auto demands = workload::cluster_traffic(clusters, workload::Pattern::Broadcast, wl);
 
+  // Incremental sweep state: one BFS engine retargeted across the failure
+  // levels (degraded/recovered alternate, so consecutive graphs differ by a
+  // few switches' links) and one exact-only MCF warm cache (identical
+  // instances — e.g. the four fails=0 solves — resume bitwise). Cold mode
+  // leaves both null; stdout is byte-identical either way.
+  std::unique_ptr<inc::DynamicApsp> apsp;
+  std::unique_ptr<inc::McfWarmCache> warm;
+  if (bench::incremental_enabled())
+    warm = std::make_unique<inc::McfWarmCache>(inc::McfWarmCacheOptions{.exact_only = true});
+
   struct ZoneResult {
     double lambda = 0.0;
     double served = 0.0;  ///< fraction of demands still servable
+    double apl = 0.0;     ///< server APL among surviving servers
   };
   auto degraded_throughput = [&](const std::vector<core::ConverterConfig>& cfg,
                                  const core::FailureSet& failures) {
@@ -76,8 +94,29 @@ int main(int argc, char** argv) {
     r.served = demands.empty() ? 1.0
                                : static_cast<double>(alive.size()) /
                                      static_cast<double>(demands.size());
+    // APL among surviving servers (the stranded ones sit on isolated dead
+    // switches). Incremental mode repairs the cached BFS trees from the
+    // graph delta; the result is bitwise equal to the cold computation.
+    std::vector<topo::ServerId> alive_servers;
+    for (topo::ServerId sv = 0; sv < d.topo.server_count(); ++sv)
+      if (!stranded[sv]) alive_servers.push_back(sv);
+    if (bench::incremental_enabled()) {
+      if (apsp == nullptr) {
+        // A failed core switch invalidates many trees at once, so allow
+        // deep repairs before falling back to full BFS (repairs are exact
+        // at any threshold; this only trades repair work against rebuilds).
+        inc::DynamicApspOptions aopt;
+        aopt.churn_threshold = 0.75;
+        apsp = std::make_unique<inc::DynamicApsp>(d.topo.graph(), aopt);
+      } else {
+        apsp->retarget(d.topo.graph());
+      }
+      r.apl = inc::server_apl_subset(*apsp, d.topo, alive_servers).average;
+    } else {
+      r.apl = topo::server_apl_subset(d.topo, alive_servers).average;
+    }
     try {
-      r.lambda = bench::throughput(d.topo, alive, eps);
+      r.lambda = bench::throughput(d.topo, alive, eps, nullptr, warm.get());
     } catch (const std::exception&) {
       r.lambda = 0.0;  // degraded network disconnected for some demand
     }
@@ -86,10 +125,10 @@ int main(int argc, char** argv) {
 
   util::Table table({"failed cores", "stranded (no recovery)", "stranded (recovered)",
                      "served% degraded", "served% recovered", "lambda degraded",
-                     "lambda recovered"});
+                     "lambda recovered", "apl degraded", "apl recovered"});
   for (std::int64_t fails = 0; fails <= max_failures; fails += 2) {
     double stranded_before = 0, stranded_after = 0, lam_before = 0, lam_after = 0;
-    double served_before = 0, served_after = 0;
+    double served_before = 0, served_after = 0, apl_before = 0, apl_after = 0;
     for (std::int64_t s = 0; s < seeds; ++s) {
       util::Rng rng(static_cast<std::uint64_t>(seed) * 13 + fails * 31 + s);
       core::FailureSet failures;
@@ -110,6 +149,8 @@ int main(int argc, char** argv) {
       lam_after += after.lambda;
       served_before += before.served;
       served_after += after.served;
+      apl_before += before.apl;
+      apl_after += after.apl;
     }
     table.begin_row();
     table.integer(fails);
@@ -119,6 +160,8 @@ int main(int argc, char** argv) {
     table.num(100.0 * served_after / seeds, 1);
     table.num(lam_before / seeds, 5);
     table.num(lam_after / seeds, 5);
+    table.num(apl_before / seeds, 4);
+    table.num(apl_after / seeds, 4);
   }
   table.print("Extension: core-switch failures, recovery by reconversion");
   std::puts("Convertibility re-homes every server stranded on a failed core (a\n"

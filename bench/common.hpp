@@ -14,6 +14,7 @@
 #include "check/check.hpp"
 #include "core/flat_tree.hpp"
 #include "exec/parallel_for.hpp"
+#include "inc/mcf_warm.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "obs/obs.hpp"
 #include "topo/topology.hpp"
@@ -140,6 +141,34 @@ class ObsScope {
   obs::RunSession session_;  ///< writes manifest + trace on destruction
 };
 
+// -- incremental sweeps (--incremental) -------------------------------------
+//
+// With --incremental the sweep-style benches reuse work between
+// consecutive sweep points through src/inc: cached BFS trees are repaired
+// instead of recomputed (inc::DynamicApsp) and identical MCF instances
+// resume from their terminal solver state (inc::McfWarmCache, exact-only
+// tier). Stdout is byte-identical to cold mode at any thread count — the
+// incremental paths are bitwise-equivalent by construction and every
+// warm-started solver result is re-certified through src/check. The
+// savings show up in a --metrics-json manifest: graph.bfs.nodes_visited
+// drops (repairs bill inc.apl.repair_visits instead) and
+// inc.mcf.warm_phases_saved counts GK phases inherited instead of re-run.
+
+/// Process-wide switch; set from the --incremental flag.
+inline bool& incremental_enabled() {
+  static bool on = false;
+  return on;
+}
+
+/// Registers the shared `--incremental` flag (sweep benches grow one).
+inline void add_incremental_flag(util::CliParser& cli, bool* flag) {
+  cli.add_bool("incremental", flag,
+               "reuse work across sweep points (delta-repaired BFS caches, "
+               "warm-started MCF); output is byte-identical to cold mode");
+}
+
+inline void apply_incremental(bool on) { incremental_enabled() = on; }
+
 /// Registers the shared `--threads` flag (every bench grows one). 0 means
 /// the exec default: FLATTREE_THREADS env var, else hardware concurrency.
 inline void add_threads_flag(util::CliParser& cli, std::int64_t* threads) {
@@ -158,7 +187,7 @@ inline void apply_threads(std::int64_t threads) {
 /// (switch-aggregated max concurrent flow, certified lower bound).
 inline double throughput(const topo::Topology& topo,
                          const std::vector<mcf::ServerDemand>& demands, double epsilon,
-                         double* upper = nullptr) {
+                         double* upper = nullptr, inc::McfWarmCache* warm = nullptr) {
   auto commodities = mcf::aggregate_to_switches(topo, demands);
   if (commodities.empty()) return 0.0;
   mcf::McfOptions opt;
@@ -166,7 +195,10 @@ inline double throughput(const topo::Topology& topo,
   // Certification needs the dual bound for the bracket check, so selfcheck
   // forces the upper bound on even when the caller does not want it.
   opt.compute_upper_bound = upper != nullptr || selfcheck_enabled();
-  auto r = mcf::max_concurrent_flow(topo.graph(), commodities, opt);
+  // The warm cache (exact-only in benches) resumes identical instances
+  // bitwise and re-certifies internally; different instances solve cold.
+  auto r = warm != nullptr ? warm->solve(topo.graph(), commodities, opt)
+                           : mcf::max_concurrent_flow(topo.graph(), commodities, opt);
   if (selfcheck_enabled()) {
     check::CertifyOptions copt;
     copt.epsilon = epsilon;

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Documentation gate (ctest label `docs`). Three checks:
+#
+#   1. Markdown link integrity — every intra-repo link target in the
+#      checked .md files exists on disk (external http(s) links and pure
+#      anchors are skipped).
+#   2. Header doc coverage — every public header under src/graph/ and
+#      src/mcf/ has a file-level comment, and every namespace-scope
+#      declaration (struct/class/enum/free function) is immediately
+#      preceded by a doc comment.
+#   3. README bench catalog — the bench catalog table in README.md lists
+#      every bench binary that exists under bench/.
+#
+# Usage: scripts/check_docs.sh [repo-root]   (defaults to the script's parent)
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+python3 - "$root" <<'PYEOF'
+import os
+import re
+import sys
+
+root = sys.argv[1]
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+
+
+# -- 1. markdown link integrity ---------------------------------------------
+
+MD_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md"]
+MD_FILES += sorted(
+    os.path.join("docs", f) for f in os.listdir(os.path.join(root, "docs"))
+    if f.endswith(".md")
+) if os.path.isdir(os.path.join(root, "docs")) else []
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+for md in MD_FILES:
+    path = os.path.join(root, md)
+    if not os.path.exists(path):
+        continue  # optional files may not exist yet
+    text = open(path, encoding="utf-8").read()
+    # Strip fenced code blocks: their bracket/paren text is not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not os.path.exists(os.path.join(root, os.path.dirname(md), rel)) and \
+           not os.path.exists(os.path.join(root, rel)):
+            fail(f"{md}: broken link -> {target}")
+
+# -- 2. header doc coverage (src/graph + src/mcf) ---------------------------
+
+DECL_RE = re.compile(
+    r"^(struct|class|enum)\s+\w+"          # type declarations
+    r"|^[A-Za-z_][\w:<>,\s*&]*\s+\w+\("    # free function declarations
+)
+SKIP_RE = re.compile(r"^(using|namespace|#|template|typedef|}|{|//|///|\*|/\*)")
+
+def covered(lines, i):
+    """A declaration at line i counts as documented when the nearest
+    non-blank line above it is part of a comment."""
+    j = i - 1
+    while j >= 0 and lines[j].strip() == "":
+        j -= 1
+    if j < 0:
+        return False
+    prev = lines[j].strip()
+    return prev.startswith(("//", "///", "/*", "*", "*/")) or prev.endswith("*/")
+
+HEADER_DIRS = ["src/graph", "src/mcf"]
+for d in HEADER_DIRS:
+    for name in sorted(os.listdir(os.path.join(root, d))):
+        if not name.endswith(".hpp"):
+            continue
+        rel = os.path.join(d, name)
+        lines = open(os.path.join(root, rel), encoding="utf-8").read().splitlines()
+        # File-level comment: a comment line within the first 3 lines.
+        head = [l.strip() for l in lines[:3]]
+        if not any(l.startswith(("//", "/*")) for l in head):
+            fail(f"{rel}: missing file-level comment")
+        depth = 0          # brace depth; only depth<=1 (namespace scope) is public API
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line = raw.strip()
+            if in_block_comment:
+                if "*/" in line:
+                    in_block_comment = False
+                continue
+            if line.startswith("/*") and "*/" not in line:
+                in_block_comment = True
+                continue
+            if depth <= 1 and DECL_RE.match(line) and not SKIP_RE.match(line):
+                # `else`/`return` lines can false-match the function regex.
+                if not line.startswith(("else", "return", "if", "for", "while")):
+                    if not covered(lines, i):
+                        fail(f"{rel}:{i + 1}: undocumented public declaration: {line[:60]}")
+            depth += raw.count("{") - raw.count("}")
+
+# -- 3. README bench catalog completeness -----------------------------------
+
+bench_dir = os.path.join(root, "bench")
+benches = sorted(
+    f[:-4] for f in os.listdir(bench_dir) if f.startswith("bench_") and f.endswith(".cpp")
+)
+readme = open(os.path.join(root, "README.md"), encoding="utf-8").read()
+for b in benches:
+    if b not in readme:
+        fail(f"README.md: bench catalog is missing `{b}`")
+
+# ---------------------------------------------------------------------------
+
+if failures:
+    print(f"check_docs: FAILED ({len(failures)} problem(s))")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print(f"check_docs: OK ({len(MD_FILES)} md files, "
+      f"{sum(1 for d in HEADER_DIRS for f in os.listdir(os.path.join(root, d)) if f.endswith('.hpp'))} headers, "
+      f"{len(benches)} benches)")
+PYEOF
+exit $?

@@ -15,10 +15,12 @@
 //   check::equipment_parity(a, b)          — same-hardware cross-check
 //   check::certify(graph, commodities, mcf_result[, options])
 //   check::validate_paths / validate_fib_progress
+//   check::certify_distances(graph, source, dist) — BFS distance arrays
 //   check::run_differential(spec)          — tests only (exact LP inside)
 
 #include "check/certify.hpp"
 #include "check/differential.hpp"
+#include "check/distances.hpp"
 #include "check/invariants.hpp"
 #include "check/report.hpp"
 #include "check/routing_check.hpp"

@@ -30,6 +30,9 @@ struct BfsTree {
   std::vector<NodeId> parent;
   std::vector<LinkId> parent_link;
 };
+
+/// Single-source BFS returning the full tree (distances + parents); use
+/// bfs_distances when only the distance array is needed.
 BfsTree bfs_tree(const Graph& g, NodeId source);
 
 /// Reconstructs a node path source..target from a BFS tree; empty when

@@ -14,6 +14,7 @@ namespace flattree::graph {
 
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
+/// Shortest-path tree under a per-link length function.
 struct DijkstraResult {
   std::vector<double> dist;        ///< kInfDistance when unreachable
   std::vector<NodeId> parent;      ///< kInvalidNode at source/unreached

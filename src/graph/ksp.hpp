@@ -11,6 +11,8 @@
 
 namespace flattree::graph {
 
+/// A simple (loopless) path with its length under the metric used to
+/// compute it.
 struct Path {
   std::vector<NodeId> nodes;  ///< source..target inclusive
   std::vector<LinkId> links;  ///< one per hop (nodes.size()-1 entries)

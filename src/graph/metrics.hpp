@@ -15,6 +15,7 @@
 
 namespace flattree::graph {
 
+/// Result of a weighted average-path-length computation.
 struct AplResult {
   double average = 0.0;       ///< weighted mean distance (hops)
   std::uint64_t pairs = 0;    ///< number of weighted pairs (unordered)

@@ -1,0 +1,41 @@
+#pragma once
+// Weighted APL over a DynamicApsp engine's cached distances.
+//
+// Mirrors graph::weighted_apl / topo::server_apl term for term: the same
+// per-source partial sums in the same long-double accumulation structure,
+// combined in the same source order — so at equal distances the result is
+// *bitwise* equal to the cold computation at any thread count (floating-
+// point addition is not associative; replicating the association order is
+// what makes `--incremental` byte-identical, not just "close").
+//
+// Sources the engine has not materialized yet are computed cold
+// (sequentially, before the parallel accumulation — the engine is not
+// mutation-safe from workers); everything else reads the repaired caches.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "inc/dynamic_bfs.hpp"
+#include "topo/topology.hpp"
+
+namespace flattree::inc {
+
+/// graph::weighted_apl against the engine's current graph and caches.
+/// Identical contract: throws std::runtime_error when a weighted pair is
+/// disconnected, std::invalid_argument on a weight size mismatch.
+graph::AplResult weighted_apl(DynamicApsp& engine,
+                              const std::vector<std::uint32_t>& weight,
+                              std::uint32_t offset, std::uint32_t same_node_dist);
+
+/// topo::server_apl evaluated incrementally. The engine must already be
+/// retargeted to `topo` (node counts checked; link drift is the caller's
+/// contract — retarget() first).
+graph::AplResult server_apl(DynamicApsp& engine, const topo::Topology& topo);
+
+/// topo::server_apl_subset evaluated incrementally (same retarget
+/// contract as server_apl).
+graph::AplResult server_apl_subset(DynamicApsp& engine, const topo::Topology& topo,
+                                   const std::vector<topo::ServerId>& subset);
+
+}  // namespace flattree::inc

@@ -1,0 +1,100 @@
+#include "inc/delta.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace flattree::inc {
+
+namespace {
+
+/// Canonical key for link matching: normalized endpoints + capacity bits.
+/// Capacities are compared exactly (bit pattern) — the engine only ever
+/// re-homes links it created from the same topology generator, so fuzzy
+/// matching would hide real drift.
+std::uint64_t link_key_lo(const graph::Link& l) {
+  graph::NodeId a = l.a < l.b ? l.a : l.b;
+  graph::NodeId b = l.a < l.b ? l.b : l.a;
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct KeyHash {
+  std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& k) const {
+    std::uint64_t h = k.first * 0x9e3779b97f4a7c15ull;
+    h ^= k.second + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using SlotMap = std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                                   std::vector<graph::LinkId>, KeyHash>;
+
+std::pair<std::uint64_t, std::uint64_t> key_of(const graph::Link& l) {
+  return {link_key_lo(l), std::bit_cast<std::uint64_t>(l.capacity)};
+}
+
+}  // namespace
+
+GraphDelta diff_graphs(const graph::Graph& engine, const graph::Graph& target) {
+  if (engine.node_count() != target.node_count())
+    throw std::invalid_argument("diff_graphs: node counts differ");
+
+  // Bucket the engine's slots by key, live and tombstoned separately.
+  // Slots are pushed in ascending id order, consumed front-first, so the
+  // emitted delta is deterministic.
+  SlotMap live, dead;
+  for (graph::LinkId id = 0; id < engine.link_count(); ++id)
+    (engine.link_live(id) ? live : dead)[key_of(engine.link(id))].push_back(id);
+
+  GraphDelta delta;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::size_t, KeyHash>
+      live_used, dead_used;
+  for (graph::LinkId tid = 0; tid < target.link_count(); ++tid) {
+    if (!target.link_live(tid)) continue;
+    auto key = key_of(target.link(tid));
+    // Prefer an already-live engine slot (no edit at all) ...
+    if (auto it = live.find(key); it != live.end()) {
+      std::size_t& used = live_used[key];
+      if (used < it->second.size()) {
+        ++used;
+        continue;
+      }
+    }
+    // ... then a tombstoned slot with the same key (cheap restore) ...
+    if (auto it = dead.find(key); it != dead.end()) {
+      std::size_t& used = dead_used[key];
+      if (used < it->second.size()) {
+        delta.restore.push_back(it->second[used++]);
+        continue;
+      }
+    }
+    // ... and only append when nothing matches.
+    delta.add.push_back(target.link(tid));
+  }
+
+  // Live engine slots the target did not consume must go.
+  for (const auto& [key, slots] : live) {
+    std::size_t used = 0;
+    if (auto it = live_used.find(key); it != live_used.end()) used = it->second;
+    for (std::size_t i = used; i < slots.size(); ++i) delta.remove.push_back(slots[i]);
+  }
+  std::sort(delta.remove.begin(), delta.remove.end());
+  std::sort(delta.restore.begin(), delta.restore.end());
+  return delta;
+}
+
+std::vector<graph::LinkId> apply_delta(graph::Graph& g, const GraphDelta& delta) {
+  std::vector<graph::LinkId> now_live;
+  now_live.reserve(delta.restore.size() + delta.add.size());
+  for (graph::LinkId id : delta.remove) g.remove_link(id);
+  for (graph::LinkId id : delta.restore) {
+    g.restore_link(id);
+    now_live.push_back(id);
+  }
+  for (const graph::Link& l : delta.add) now_live.push_back(g.add_link(l.a, l.b, l.capacity));
+  return now_live;
+}
+
+}  // namespace flattree::inc

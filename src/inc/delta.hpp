@@ -1,0 +1,48 @@
+#pragma once
+// Live-link-set diffs between two graphs over the same node space.
+//
+// The incremental engine (inc::DynamicApsp) owns a mutable working Graph
+// and moves it from sweep point to sweep point by *editing* instead of
+// rebuilding: diff_graphs compares the engine graph's live links against a
+// freshly built target topology and emits the minimal edit script —
+// tombstone these slots, revive those, append the rest. Removed slots are
+// kept as tombstones so a later sweep point that brings the same link back
+// (failure sweeps always do) becomes a cheap restore_link that the CSR can
+// patch in place, not an append that forces a full rebuild.
+//
+// Links are matched by (min endpoint, max endpoint, exact capacity bits);
+// parallel links match by multiplicity. Link ids on the two sides are
+// unrelated — the delta speaks engine-slot ids on the remove/restore side
+// and endpoint/capacity triples on the add side.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flattree::inc {
+
+/// Edit script turning one graph's live-link multiset into another's.
+/// Apply order is remove, restore, add (apply_delta does this).
+struct GraphDelta {
+  std::vector<graph::LinkId> remove;   ///< live engine slots to tombstone
+  std::vector<graph::LinkId> restore;  ///< tombstoned engine slots to revive
+  std::vector<graph::Link> add;        ///< links with no reusable slot
+
+  bool empty() const { return remove.empty() && restore.empty() && add.empty(); }
+  /// Total number of edits.
+  std::size_t size() const { return remove.size() + restore.size() + add.size(); }
+};
+
+/// Computes the delta that makes `engine`'s live links match `target`'s.
+/// Both graphs must have the same node count (std::invalid_argument
+/// otherwise). O(links) time and space; deterministic: slots are matched
+/// and emitted in ascending id order.
+GraphDelta diff_graphs(const graph::Graph& engine, const graph::Graph& target);
+
+/// Applies a delta produced by diff_graphs against the same engine graph.
+/// Returns the slot ids that became live (restored slots first, then the
+/// freshly appended ones, in delta order).
+std::vector<graph::LinkId> apply_delta(graph::Graph& g, const GraphDelta& delta);
+
+}  // namespace flattree::inc

@@ -1,0 +1,322 @@
+#include "inc/dynamic_bfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "check/distances.hpp"
+#include "exec/parallel_for.hpp"
+#include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace flattree::inc {
+
+namespace {
+
+using graph::kInvalidLink;
+using graph::kInvalidNode;
+using graph::kUnreachable;
+using graph::LinkId;
+using graph::NodeId;
+
+// Full/fallback/cold traversals bill the same graph.bfs.* metrics a cold
+// run bills (the registry dedupes by name), so cross-mode manifest diffs
+// compare like with like. Repairs bill inc.* only.
+obs::Counter c_bfs_runs("graph.bfs.runs");
+obs::Counter c_bfs_visited("graph.bfs.nodes_visited");
+obs::Histogram h_bfs_visited("graph.bfs.visited_per_source",
+                             obs::Histogram::exponential_bounds(16.0, 4.0, 10));
+
+obs::Counter c_retargets("inc.retarget.runs");
+obs::Counter c_edits("inc.retarget.edits");
+obs::Counter c_untouched("inc.apl.sources_untouched");
+obs::Counter c_repaired("inc.apl.sources_repaired");
+obs::Counter c_rebuilt("inc.apl.sources_rebuilt");
+obs::Counter c_cold("inc.apl.sources_cold");
+obs::Counter c_cache_hits("inc.apl.cache_hits");
+obs::Counter c_repair_visits("inc.apl.repair_visits");
+obs::Counter c_avoided_visits("inc.apl.avoided_visits");
+
+}  // namespace
+
+DynamicApsp::DynamicApsp(const graph::Graph& base, DynamicApspOptions options)
+    : g_(base), opt_(options) {
+  g_.clear_journal();
+  src_.resize(g_.node_count());
+}
+
+void DynamicApsp::full_bfs(SourceState& st, NodeId source) {
+  const std::size_t n = g_.node_count();
+  st.dist.assign(n, kUnreachable);
+  st.parent_link.assign(n, kInvalidLink);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  st.dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    for (const graph::Arc& arc : g_.neighbors(u)) {
+      if (st.dist[arc.to] == kUnreachable) {
+        st.dist[arc.to] = st.dist[u] + 1;
+        st.parent_link[arc.to] = arc.link;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  if (obs::enabled()) {
+    c_bfs_runs.inc();
+    c_bfs_visited.add(queue.size());
+    h_bfs_visited.observe(static_cast<double>(queue.size()));
+  }
+}
+
+void DynamicApsp::cold_compute(NodeId source) {
+  auto st = std::make_unique<SourceState>();
+  full_bfs(*st, source);
+  if (obs::enabled()) c_cold.inc();
+  src_[source] = std::move(st);
+}
+
+const std::vector<std::uint32_t>& DynamicApsp::distances(NodeId source) {
+  if (source >= g_.node_count())
+    throw std::out_of_range("DynamicApsp::distances: source out of range");
+  if (src_[source] == nullptr) {
+    cold_compute(source);
+  } else if (obs::enabled()) {
+    c_cache_hits.inc();
+  }
+  return src_[source]->dist;
+}
+
+const std::vector<std::uint32_t>& DynamicApsp::cached_distances(NodeId source) const {
+  if (!cached(source))
+    throw std::logic_error("DynamicApsp::cached_distances: source not cached");
+  return src_[source]->dist;
+}
+
+void DynamicApsp::invalidate() {
+  for (auto& st : src_) st.reset();
+}
+
+void DynamicApsp::repair_source(NodeId source, const std::vector<char>& removed_live,
+                                const std::vector<LinkId>& new_links,
+                                RetargetStats& stats) {
+  SourceState& st = *src_[source];
+  const std::size_t n = g_.node_count();
+
+  // -- phase 1: orphans and their subtrees (the affected set) --------------
+  //
+  // A node is affected iff its tree path to the source crosses a removed
+  // link: its own parent link died (orphan) or its parent is affected.
+  // Parents sit one BFS level up, so one pass over nodes bucketed by
+  // distance settles the flags.
+  std::uint32_t max_dist = 0;
+  bool any_orphan = false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (st.dist[v] == kUnreachable) continue;
+    max_dist = std::max(max_dist, st.dist[v]);
+    if (st.parent_link[v] != kInvalidLink && removed_live[st.parent_link[v]])
+      any_orphan = true;
+  }
+  if (!any_orphan && new_links.empty()) {
+    ++stats.sources_untouched;
+    if (obs::enabled()) {
+      c_untouched.inc();
+      c_avoided_visits.add(n);
+    }
+    return;
+  }
+
+  std::vector<char> affected(n, 0);
+  std::vector<NodeId> affected_nodes;
+  if (any_orphan) {
+    std::vector<std::vector<NodeId>> by_level(max_dist + 1);
+    for (NodeId v = 0; v < n; ++v)
+      if (st.dist[v] != kUnreachable && st.dist[v] > 0) by_level[st.dist[v]].push_back(v);
+    for (std::uint32_t d = 1; d <= max_dist; ++d) {
+      for (NodeId v : by_level[d]) {
+        LinkId pl = st.parent_link[v];
+        NodeId parent = g_.link(pl).other(v);
+        if (removed_live[pl] || affected[parent]) {
+          affected[v] = 1;
+          affected_nodes.push_back(v);
+        }
+      }
+    }
+  }
+
+  // -- churn fallback ------------------------------------------------------
+  if (static_cast<double>(affected_nodes.size()) >
+      opt_.churn_threshold * static_cast<double>(n)) {
+    full_bfs(st, source);
+    ++stats.sources_rebuilt;
+    if (obs::enabled()) c_rebuilt.inc();
+    return;
+  }
+
+  // -- phase 2: Dijkstra repair of the affected region ---------------------
+  //
+  // Affected distances are reset; candidates enter from the unaffected
+  // frontier (dist[w] + 1 over any live link) and propagate inside the
+  // region through a unit-weight bucket queue. Frontier values are exact
+  // for the removal-only graph, so finalized values are exact too — except
+  // where an added link shortened something, which phase 3 fixes.
+  struct Cand {
+    NodeId node;
+    LinkId via;
+  };
+  std::size_t visits = 0;
+  std::vector<NodeId> improved;  // nodes that ended up *closer* than before
+  if (!affected_nodes.empty()) {
+    std::vector<std::uint32_t> old_dist(affected_nodes.size());
+    for (std::size_t i = 0; i < affected_nodes.size(); ++i) {
+      old_dist[i] = st.dist[affected_nodes[i]];
+      st.dist[affected_nodes[i]] = kUnreachable;
+      st.parent_link[affected_nodes[i]] = kInvalidLink;
+    }
+    std::vector<std::vector<Cand>> buckets;
+    auto push = [&buckets](std::uint32_t d, NodeId v, LinkId via) {
+      if (buckets.size() <= d) buckets.resize(d + 1);
+      buckets[d].push_back(Cand{v, via});
+    };
+    for (NodeId v : affected_nodes) {
+      for (const graph::Arc& arc : g_.neighbors(v)) {
+        if (affected[arc.to] || st.dist[arc.to] == kUnreachable) continue;
+        push(st.dist[arc.to] + 1, v, arc.link);
+      }
+    }
+    for (std::uint32_t d = 0; d < buckets.size(); ++d) {
+      for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+        Cand c = buckets[d][i];
+        if (st.dist[c.node] != kUnreachable) continue;  // already finalized
+        st.dist[c.node] = d;
+        st.parent_link[c.node] = c.via;
+        ++visits;
+        for (const graph::Arc& arc : g_.neighbors(c.node))
+          if (affected[arc.to] && st.dist[arc.to] == kUnreachable)
+            push(d + 1, arc.to, arc.link);
+      }
+    }
+    // Affected nodes that came back *closer* than their old distance got
+    // there through an added link; they seed phase 3's relaxation so the
+    // shortcut propagates beyond the affected region.
+    for (std::size_t i = 0; i < affected_nodes.size(); ++i) {
+      NodeId v = affected_nodes[i];
+      if (st.dist[v] != kUnreachable && st.dist[v] < old_dist[i]) improved.push_back(v);
+    }
+  }
+
+  // -- phase 3: relax added links to a fixpoint ----------------------------
+  //
+  // Standard incremental-BFS insertion: seed with every endpoint improved
+  // by an added link (plus phase 2's shortcut nodes) and propagate strict
+  // improvements breadth-first. Monotone decreasing, hence terminating and
+  // exact.
+  std::vector<NodeId> queue = std::move(improved);
+  for (LinkId id : new_links) {
+    const graph::Link& l = g_.link(id);
+    if (st.dist[l.a] != kUnreachable &&
+        (st.dist[l.b] == kUnreachable || st.dist[l.b] > st.dist[l.a] + 1)) {
+      st.dist[l.b] = st.dist[l.a] + 1;
+      st.parent_link[l.b] = id;
+      queue.push_back(l.b);
+    }
+    if (st.dist[l.b] != kUnreachable &&
+        (st.dist[l.a] == kUnreachable || st.dist[l.a] > st.dist[l.b] + 1)) {
+      st.dist[l.a] = st.dist[l.b] + 1;
+      st.parent_link[l.a] = id;
+      queue.push_back(l.a);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    ++visits;
+    for (const graph::Arc& arc : g_.neighbors(u)) {
+      if (st.dist[arc.to] == kUnreachable || st.dist[arc.to] > st.dist[u] + 1) {
+        st.dist[arc.to] = st.dist[u] + 1;
+        st.parent_link[arc.to] = arc.link;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+
+  ++stats.sources_repaired;
+  stats.repair_visits += visits;
+  if (obs::enabled()) {
+    c_repaired.inc();
+    c_repair_visits.add(visits);
+    c_avoided_visits.add(n > visits ? n - visits : 0);
+  }
+}
+
+RetargetStats DynamicApsp::retarget(const graph::Graph& target) {
+  OBS_SPAN("inc.retarget");
+  GraphDelta delta = diff_graphs(g_, target);
+
+  // Slot liveness before the edits, so repairs can test "was this parent
+  // link removed" against the delta alone.
+  std::vector<char> removed_live(g_.link_count() + delta.add.size(), 0);
+  for (LinkId id : delta.remove) removed_live[id] = 1;
+
+  std::vector<LinkId> new_links = apply_delta(g_, delta);
+  g_.clear_journal();
+  g_.ensure_csr();  // build once, before the parallel repairs share it
+
+  RetargetStats stats;
+  stats.edits = delta.size();
+  if (obs::enabled()) {
+    c_retargets.inc();
+    c_edits.add(delta.size());
+  }
+  if (delta.empty()) {
+    for (const auto& st : src_)
+      if (st != nullptr) ++stats.sources_untouched;
+    return stats;
+  }
+
+  // Per-source repairs are independent; fan out over the pool and combine
+  // partial stats in source order (deterministic at any thread count).
+  RetargetStats repaired = exec::parallel_reduce(
+      g_.node_count(), /*grain=*/1, RetargetStats{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        RetargetStats part;
+        for (std::size_t s = begin; s < end; ++s) {
+          if (src_[s] == nullptr) continue;
+          repair_source(static_cast<NodeId>(s), removed_live, new_links, part);
+        }
+        return part;
+      },
+      [](RetargetStats acc, RetargetStats part) {
+        acc.sources_untouched += part.sources_untouched;
+        acc.sources_repaired += part.sources_repaired;
+        acc.sources_rebuilt += part.sources_rebuilt;
+        acc.repair_visits += part.repair_visits;
+        return acc;
+      });
+  stats.sources_untouched = repaired.sources_untouched;
+  stats.sources_repaired = repaired.sources_repaired;
+  stats.sources_rebuilt = repaired.sources_rebuilt;
+  stats.repair_visits = repaired.repair_visits;
+  return stats;
+}
+
+check::Report DynamicApsp::verify(NodeId source) const {
+  if (!cached(source)) throw std::logic_error("DynamicApsp::verify: source not cached");
+  return check::certify_distances(g_, source, src_[source]->dist);
+}
+
+check::Report DynamicApsp::verify_all_cached() const {
+  check::Report report;
+  for (NodeId v = 0; v < src_.size(); ++v)
+    if (src_[v] != nullptr) report.merge(verify(v));
+  return report;
+}
+
+void DynamicApsp::corrupt_cache_for_test(NodeId source, NodeId victim,
+                                         std::uint32_t value) {
+  if (!cached(source))
+    throw std::logic_error("DynamicApsp::corrupt_cache_for_test: source not cached");
+  src_[source]->dist[victim] = value;
+}
+
+}  // namespace flattree::inc

@@ -1,0 +1,131 @@
+#pragma once
+// Dynamic all-pairs BFS: cached single-source distance trees repaired
+// in place as the underlying graph changes (Ramalingam/Reps-style).
+//
+// A sweep (failure levels, (m,n) profiles, conversion steps) visits a
+// sequence of topologies that differ by a handful of links. Cold mode runs
+// one BFS per weighted source per point; this engine keeps the per-source
+// distance + parent-link arrays from the previous point and, per delta:
+//
+//   1. finds *orphans* — nodes whose tree parent link was removed — and
+//      marks their whole subtrees (every node whose tree path crosses a
+//      removed link) as the affected set;
+//   2. if nothing is affected and no links were added, the source is
+//      untouched (zero work beyond the orphan scan);
+//   3. otherwise repairs affected nodes with a unit-weight Dijkstra seeded
+//      from the unaffected frontier (bucket queue, exact), then relaxes
+//      added links to a fixpoint — per-source work proportional to the
+//      affected region, not the graph;
+//   4. past a churn threshold (affected fraction > churn_threshold) the
+//      repair would cost as much as a fresh traversal, so it falls back to
+//      a full BFS — counted as cold work, never hidden.
+//
+// Exactness, not approximation: repaired arrays are bitwise equal to a
+// cold BFS on the new graph (tests/inc asserts this over randomized delta
+// sequences; check::certify_distances proves any single array sound and
+// complete). Invalidation rules are documented in docs/incremental.md and
+// DESIGN.md §8.
+//
+// Accounting: full/fallback/cold traversals bump the same graph.bfs.*
+// counters a cold run bumps (so a --metrics-json diff between modes is
+// apples-to-apples); repairs bump inc.apl.* instead (affected sources,
+// repair visits, avoided visits, cache hits).
+//
+// Thread-safety: retarget() parallelizes the per-source repairs
+// internally (sources are independent). The object itself follows the
+// same rule as graph::Graph — concurrent *reads* (cached_distances) are
+// safe, mutation (retarget / distances on a missing source) is not safe
+// against concurrent access. inc::weighted_apl computes all needed
+// sources up front, then reads them from a parallel region.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/report.hpp"
+#include "graph/graph.hpp"
+#include "inc/delta.hpp"
+
+namespace flattree::inc {
+
+/// Tuning knobs for DynamicApsp.
+struct DynamicApspOptions {
+  /// Fall back to a full per-source BFS when more than this fraction of
+  /// nodes is affected by a delta. 0 forces full recompute always (useful
+  /// as a baseline); 1 never falls back.
+  double churn_threshold = 0.25;
+};
+
+/// What one retarget() did, per source category (see header comment).
+struct RetargetStats {
+  std::size_t edits = 0;              ///< delta size (removed + restored + added)
+  std::size_t sources_untouched = 0;  ///< cached trees with no affected node
+  std::size_t sources_repaired = 0;   ///< trees patched incrementally
+  std::size_t sources_rebuilt = 0;    ///< churn fallback: full BFS re-run
+  std::size_t repair_visits = 0;      ///< nodes finalized/improved during repairs
+};
+
+/// Incrementally maintained single-source BFS trees over a working graph.
+class DynamicApsp {
+ public:
+  /// Seeds the engine with a copy of `base`. No distances are computed
+  /// yet — sources materialize lazily on first use.
+  explicit DynamicApsp(const graph::Graph& base, DynamicApspOptions options = {});
+
+  /// The engine's working graph (node ids match the seed graph; link slot
+  /// ids are engine-private and may include tombstones).
+  const graph::Graph& graph() const { return g_; }
+
+  /// Edits the working graph so its live links match `target`'s
+  /// (diff_graphs + apply_delta) and repairs every cached source. Node
+  /// counts must match (std::invalid_argument otherwise).
+  RetargetStats retarget(const graph::Graph& target);
+
+  /// Distance array from `source` on the current graph, computing it cold
+  /// on first use (graph::kUnreachable marks unreached nodes). The
+  /// reference stays valid until the next retarget()/invalidate().
+  const std::vector<std::uint32_t>& distances(graph::NodeId source);
+
+  /// True when `source`'s tree is materialized.
+  bool cached(graph::NodeId source) const {
+    return source < src_.size() && src_[source] != nullptr;
+  }
+
+  /// Read-only access to a cached array (std::logic_error if missing).
+  /// Safe to call from parallel workers while no mutation is running.
+  const std::vector<std::uint32_t>& cached_distances(graph::NodeId source) const;
+
+  /// Drops every cached tree (next distances() recomputes cold).
+  void invalidate();
+
+  /// Certifies one cached source against the current graph via
+  /// check::certify_distances (std::logic_error if not cached).
+  check::Report verify(graph::NodeId source) const;
+
+  /// Certifies every cached source; merged report.
+  check::Report verify_all_cached() const;
+
+  /// Test hook (negative controls): overwrites one cached distance so the
+  /// equivalence suite can prove check::certify_distances catches cache
+  /// corruption. Not for production use.
+  void corrupt_cache_for_test(graph::NodeId source, graph::NodeId victim,
+                              std::uint32_t value);
+
+ private:
+  struct SourceState {
+    std::vector<std::uint32_t> dist;
+    std::vector<graph::LinkId> parent_link;  ///< kInvalidLink at the source
+  };
+
+  void cold_compute(graph::NodeId source);
+  /// Repairs one source in place; returns work done (counted into stats).
+  void repair_source(graph::NodeId source, const std::vector<char>& removed_live,
+                     const std::vector<graph::LinkId>& new_links, RetargetStats& stats);
+  void full_bfs(SourceState& st, graph::NodeId source);
+
+  graph::Graph g_;
+  DynamicApspOptions opt_;
+  std::vector<std::unique_ptr<SourceState>> src_;
+};
+
+}  // namespace flattree::inc

@@ -17,6 +17,7 @@ namespace flattree::mcf {
 
 using graph::NodeId;
 
+/// A switch-level demand: ship `demand` units from src to dst.
 struct Commodity {
   NodeId src = 0;
   NodeId dst = 0;
@@ -43,6 +44,8 @@ struct SourceGroup {
   double total_demand = 0.0;
 };
 
+/// Groups commodities by source node, preserving first-appearance order of
+/// sources and the input order of targets within each group.
 std::vector<SourceGroup> group_by_source(const std::vector<Commodity>& commodities);
 
 /// Sum of demands.

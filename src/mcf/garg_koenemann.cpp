@@ -24,6 +24,11 @@ obs::Counter c_gk_phases("mcf.gk.phases");
 obs::Counter c_gk_augmentations("mcf.gk.augmentations");
 obs::Counter c_gk_dijkstras("mcf.gk.dijkstra_runs");
 obs::Counter c_gk_stale("mcf.gk.stale_retrees");
+obs::Counter c_gk_warm_exact("mcf.gk.warm_exact_resumes");
+obs::Counter c_gk_warm_dual("mcf.gk.warm_dual_seeds");
+// Cross-filed under inc.*: the incremental-sweep win this counter measures
+// belongs to the inc subsystem's ledger even though the solver records it.
+obs::Counter c_warm_phases_saved("inc.mcf.warm_phases_saved");
 // Dual-bound trajectory: D(l) grows from ~0 to 1 across phases; the
 // histogram records its value at every phase end, so the bucket profile
 // shows how the certificate tightened over the run.
@@ -129,6 +134,11 @@ McfResult max_concurrent_flow(const graph::Graph& g,
       throw std::invalid_argument(
           "max_concurrent_flow: non-positive or non-finite link capacity");
   }
+  // DirectedNet expands every link slot; tombstoned slots would silently
+  // re-admit dead links, so edited graphs are rejected outright (solve on
+  // the materialized topology instead — inc::McfWarmCache does).
+  if (g.live_link_count() != g.link_count())
+    throw std::invalid_argument("max_concurrent_flow: graph has tombstoned links");
 
   OBS_SPAN("gk.solve");
   c_gk_solves.inc();
@@ -149,11 +159,66 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   for (std::size_t gi = 0; gi < groups.size(); ++gi)
     routed[gi].assign(groups[gi].targets.size(), 0.0);
 
+  // Commodity index -> (group, target) slot. group_by_source appends
+  // targets in input order within each group, so replaying that order maps
+  // the caller's commodity indices onto (group, target) slots exactly;
+  // used for commodity_routed, warm-state export, and warm-state replay.
+  std::vector<std::pair<std::size_t, std::size_t>> slot_of(commodities.size());
+  {
+    std::unordered_map<NodeId, std::size_t> group_index;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      group_index.emplace(groups[gi].src, gi);
+    std::vector<std::size_t> next_target(groups.size(), 0);
+    for (std::size_t i = 0; i < commodities.size(); ++i) {
+      std::size_t gi = group_index.at(commodities[i].src);
+      slot_of[i] = {gi, next_target[gi]++};
+    }
+  }
+
   McfResult result;
+  std::uint64_t phase_base = 0;
+
+  // -- warm start (see McfWarmState) ---------------------------------------
+  if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    const McfWarmState& w = *options.warm_start;
+    if (w.length.size() != m)
+      throw std::invalid_argument("max_concurrent_flow: warm state arc count mismatch");
+    if (w.exact) {
+      // Identical instance (caller-asserted): restore the full terminal
+      // state. A converged state makes the main loop exit immediately, so
+      // everything downstream recomputes bitwise what the prior run saw.
+      if (!w.converged || w.arc_flow.size() != m ||
+          w.routed.size() != commodities.size())
+        throw std::invalid_argument("max_concurrent_flow: exact warm state incomplete");
+      length = w.length;
+      flow = w.arc_flow;
+      d_sum = w.d_sum;
+      for (std::size_t i = 0; i < commodities.size(); ++i)
+        routed[slot_of[i].first][slot_of[i].second] = w.routed[i];
+      phase_base = w.phases;
+      result.warm_phases_saved = w.phases;
+      c_gk_warm_exact.inc();
+      c_warm_phases_saved.add(w.phases);
+    } else {
+      // Changed instance: trust only the duals. Rescaling back to the cold
+      // start's total D(l) = delta*m and clamping to the cold floor keeps
+      // every invariant of the analysis (lengths >= delta/cap, growth-only
+      // updates); the profile just starts biased away from arcs the
+      // previous point congested.
+      double scale = w.d_sum > 0.0 ? delta * static_cast<double>(m) / w.d_sum : 0.0;
+      d_sum = 0.0;
+      for (std::size_t a = 0; a < m; ++a) {
+        length[a] = std::max(delta / net.cap[a], w.length[a] * scale);
+        d_sum += length[a] * net.cap[a];
+      }
+      c_gk_warm_dual.inc();
+    }
+  }
+
   std::vector<Tree> trees(groups.size());
   std::vector<std::uint32_t> path;  // arcs target<-...<-source (reverse order)
 
-  bool done = false;
+  bool done = d_sum >= 1.0;  // true only on a converged exact resume
   while (!done && d_sum < 1.0 && result.phases < options.max_phases) {
     OBS_SPAN("gk.phase");
     // The per-source shortest-path trees of this phase are independent
@@ -216,10 +281,28 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     ++result.phases;
     h_gk_dsum.observe(d_sum);
   }
+  // Counter counts phases actually run here; result.phases also carries
+  // the inherited ones so resumed and cold solves report the same total.
   c_gk_phases.add(result.phases);
   // `done` is only ever set by the D(l) >= 1 termination test, so leaving
   // the loop without it means max_phases cut the run short.
   result.truncated = !done;
+  result.phases += phase_base;
+
+  // Terminal state export for the next sweep point, before the arrays are
+  // rescaled/moved below (warm state stores the *raw* primal).
+  if (options.export_state != nullptr) {
+    McfWarmState& out = *options.export_state;
+    out.length = length;
+    out.arc_flow = flow;
+    out.routed.resize(commodities.size());
+    for (std::size_t i = 0; i < commodities.size(); ++i)
+      out.routed[i] = routed[slot_of[i].first][slot_of[i].second];
+    out.d_sum = d_sum;
+    out.phases = result.phases;
+    out.converged = done;
+    out.exact = false;  // the caller re-asserts instance identity per use
+  }
 
   // Primal bound: rescale by worst congestion.
   double congestion = 0.0;
@@ -237,20 +320,11 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     for (double& f : result.arc_flow) f /= congestion;
 
   // Per-input-commodity routed totals under the same rescaling, for
-  // solver certificates (check::certify). group_by_source appends targets
-  // in input order within each group, so replaying that order maps
-  // (group, target) back onto the caller's commodity indices exactly.
+  // solver certificates (check::certify), via the same slot mapping.
   result.commodity_routed.assign(commodities.size(), 0.0);
-  {
-    std::unordered_map<NodeId, std::size_t> group_index;
-    for (std::size_t gi = 0; gi < groups.size(); ++gi)
-      group_index.emplace(groups[gi].src, gi);
-    std::vector<std::size_t> next_target(groups.size(), 0);
-    for (std::size_t i = 0; i < commodities.size(); ++i) {
-      std::size_t gi = group_index.at(commodities[i].src);
-      std::size_t ti = next_target[gi]++;
-      result.commodity_routed[i] = congestion > 0.0 ? routed[gi][ti] / congestion : 0.0;
-    }
+  for (std::size_t i = 0; i < commodities.size(); ++i) {
+    const auto& [gi, ti] = slot_of[i];
+    result.commodity_routed[i] = congestion > 0.0 ? routed[gi][ti] / congestion : 0.0;
   }
 
   // Dual bound under the final lengths: lambda* <= D(l) / alpha(l).

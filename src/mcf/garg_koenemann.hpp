@@ -27,6 +27,38 @@
 
 namespace flattree::mcf {
 
+/// Reusable solver state for warm starts across a sweep (src/inc wraps
+/// this in inc::McfWarmCache; most callers never touch it directly).
+///
+/// Two tiers, selected by `exact`:
+///
+///   * exact == true — the caller asserts the instance (graph link order,
+///     capacities, commodities, epsilon) is *identical* to the run that
+///     exported this state. The solver restores lengths, raw flow, and
+///     per-commodity routed totals and re-enters its main loop; a
+///     converged prior state terminates immediately, so the result is
+///     bitwise identical to a cold solve while every prior phase is saved
+///     (McfResult::warm_phases_saved, inc.mcf.warm_phases_saved).
+///   * exact == false — only the *dual* half is trusted: prior lengths are
+///     rescaled back to the cold start's total D(l) = delta*m and clamped
+///     to >= delta/cap per arc, the primal state starts from zero, and the
+///     solver runs normally. Every invariant of the analysis holds
+///     (lengths only ever grow from >= delta/cap, termination at D >= 1),
+///     so both bounds stay certified; the prior duals merely steer early
+///     phases away from previously congested arcs.
+struct McfWarmState {
+  std::vector<double> length;     ///< per-arc dual lengths (2 per link)
+  std::vector<double> arc_flow;   ///< raw (pre-rescale) routed flow per arc
+  std::vector<double> routed;     ///< raw routed total per input commodity
+  double d_sum = 0.0;             ///< D(l) at export
+  std::uint64_t phases = 0;       ///< phases spent producing this state
+  bool converged = false;         ///< prior run reached D(l) >= 1
+  bool exact = false;             ///< caller-asserted identical instance
+
+  bool empty() const { return length.empty(); }
+};
+
+/// Solver knobs for max_concurrent_flow.
 struct McfOptions {
   double epsilon = 0.2;            ///< FPTAS accuracy knob
   bool compute_upper_bound = true; ///< duality bound sweep at termination
@@ -37,8 +69,18 @@ struct McfOptions {
   /// an LP-duality bound — but the FPTAS gap guarantee between them no
   /// longer applies, so the bracket may be arbitrarily loose.
   std::uint64_t max_phases = 1u << 20;
+  /// Optional warm start (see McfWarmState). Null = cold start. The state
+  /// must have length.size() == 2 * link_count (std::invalid_argument
+  /// otherwise); exact resume additionally requires converged state and
+  /// matching flow/routed sizes.
+  const McfWarmState* warm_start = nullptr;
+  /// When non-null, filled with the terminal solver state for the next
+  /// sweep point's warm start. Export costs two array copies.
+  McfWarmState* export_state = nullptr;
 };
 
+/// Solver output: a certified bracket [lambda_lower, lambda_upper] around
+/// the optimum plus the flow that witnesses the lower bound.
 struct McfResult {
   double lambda_lower = 0.0;  ///< certified feasible concurrent-flow value
   double lambda_upper = 0.0;  ///< duality upper bound (inf if not computed)
@@ -60,6 +102,10 @@ struct McfResult {
   /// arc_flow at every node equals the net routed supply. check::certify
   /// verifies both.
   std::vector<double> commodity_routed;
+  /// Phases inherited from an exact warm resume instead of being re-run
+  /// (0 on cold and dual-seeded solves). Also accumulated into the
+  /// inc.mcf.warm_phases_saved counter.
+  std::uint64_t warm_phases_saved = 0;
 };
 
 /// Solves max concurrent flow for `commodities` over `g`. Throws

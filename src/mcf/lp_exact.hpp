@@ -14,6 +14,7 @@
 
 namespace flattree::mcf {
 
+/// Outcome of the exact LP solve (cross-validates the FPTAS solver).
 struct ExactResult {
   bool solved = false;   ///< false on infeasible/iteration limit
   double lambda = 0.0;   ///< exact optimum when solved

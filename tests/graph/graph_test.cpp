@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace flattree::graph {
 namespace {
 
@@ -107,6 +112,191 @@ TEST(Graph, ArcLinkIdsMatch) {
 TEST(Graph, NeighborsOutOfRangeThrows) {
   Graph g(1);
   EXPECT_THROW(g.neighbors(1), std::out_of_range);
+}
+
+// -- edit journal / tombstones / CSR patching -------------------------------
+
+// Sorted (neighbor, link) multiset at `node`, for order-insensitive compares.
+std::vector<std::pair<NodeId, LinkId>> arcs_of(const Graph& g, NodeId node) {
+  std::vector<std::pair<NodeId, LinkId>> out;
+  for (const Arc& arc : g.neighbors(node)) out.emplace_back(arc.to, arc.link);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(GraphEdits, RemoveHidesLinkAndKeepsSlot) {
+  Graph g(3);
+  LinkId l01 = g.add_link(0, 1);
+  LinkId l12 = g.add_link(1, 2);
+  g.ensure_csr();  // build once so the removal exercises the patch path
+  g.remove_link(l01);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.live_link_count(), 1u);
+  EXPECT_FALSE(g.link_live(l01));
+  EXPECT_TRUE(g.link_live(l12));
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_FALSE(g.connected(0, 1));
+  EXPECT_TRUE(g.connected(1, 2));
+  // The slot survives: endpoints and capacity remain readable.
+  EXPECT_EQ(g.link(l01).a, 0u);
+  EXPECT_EQ(g.link(l01).b, 1u);
+}
+
+TEST(GraphEdits, RestoreRevivesLink) {
+  Graph g(3);
+  LinkId l01 = g.add_link(0, 1, 2.0);
+  g.add_link(1, 2);
+  g.ensure_csr();
+  g.remove_link(l01);
+  g.ensure_csr();
+  g.restore_link(l01);
+  EXPECT_EQ(g.live_link_count(), 2u);
+  EXPECT_TRUE(g.link_live(l01));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_DOUBLE_EQ(g.capacity_between(0, 1), 2.0);
+}
+
+TEST(GraphEdits, RemoveRestorePreconditions) {
+  Graph g(2);
+  LinkId l = g.add_link(0, 1);
+  EXPECT_THROW(g.remove_link(5), std::out_of_range);
+  EXPECT_THROW(g.restore_link(5), std::out_of_range);
+  EXPECT_THROW(g.restore_link(l), std::logic_error);  // still live
+  g.remove_link(l);
+  EXPECT_THROW(g.remove_link(l), std::logic_error);  // already removed
+  g.restore_link(l);
+  EXPECT_THROW(g.restore_link(l), std::logic_error);
+}
+
+TEST(GraphEdits, SetCapacityInPlace) {
+  Graph g(2);
+  LinkId l = g.add_link(0, 1, 1.0);
+  g.set_capacity(l, 4.0);
+  EXPECT_DOUBLE_EQ(g.link(l).capacity, 4.0);
+  EXPECT_DOUBLE_EQ(g.capacity_between(0, 1), 4.0);
+  EXPECT_THROW(g.set_capacity(l, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.set_capacity(l, -2.0), std::invalid_argument);
+  EXPECT_THROW(g.set_capacity(9, 1.0), std::out_of_range);
+}
+
+TEST(GraphEdits, JournalRecordsMutationsInOrder) {
+  Graph g(3);
+  LinkId l0 = g.add_link(0, 1);
+  LinkId l1 = g.add_link(1, 2);
+  g.remove_link(l0);
+  g.set_capacity(l1, 3.0);
+  g.restore_link(l0);
+  const auto& j = g.journal();
+  ASSERT_EQ(j.size(), 5u);
+  EXPECT_EQ(j[0].kind, GraphEdit::Kind::Add);
+  EXPECT_EQ(j[0].link, l0);
+  EXPECT_EQ(j[1].kind, GraphEdit::Kind::Add);
+  EXPECT_EQ(j[2].kind, GraphEdit::Kind::Remove);
+  EXPECT_EQ(j[2].link, l0);
+  EXPECT_EQ(j[3].kind, GraphEdit::Kind::SetCapacity);
+  EXPECT_EQ(j[3].link, l1);
+  EXPECT_EQ(j[4].kind, GraphEdit::Kind::Restore);
+  EXPECT_EQ(j[4].link, l0);
+  EXPECT_EQ(g.edit_epoch(), 5u);
+  g.clear_journal();
+  EXPECT_TRUE(g.journal().empty());
+  EXPECT_EQ(g.edit_epoch(), 5u);  // epoch is not reset by clear_journal
+}
+
+TEST(GraphEdits, CopyAndMoveDropJournalKeepLiveness) {
+  Graph g(3);
+  LinkId l0 = g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.remove_link(l0);
+  Graph c = g;
+  EXPECT_TRUE(c.journal().empty());
+  EXPECT_EQ(c.live_link_count(), 1u);
+  EXPECT_FALSE(c.link_live(l0));
+  EXPECT_EQ(arcs_of(c, 1), arcs_of(g, 1));
+  Graph m = std::move(c);
+  EXPECT_TRUE(m.journal().empty());
+  EXPECT_EQ(m.live_link_count(), 1u);
+  EXPECT_FALSE(m.link_live(l0));
+}
+
+// The central patch-correctness property: after any remove/restore/add
+// sequence, adjacency must equal a freshly built graph holding exactly the
+// live links.
+TEST(GraphEdits, PatchedCsrMatchesFreshBuild) {
+  const std::size_t n = 24;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto rnd = [&state](std::uint64_t mod) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % mod;
+  };
+  Graph g(n);
+  std::vector<LinkId> ids;
+  for (std::size_t i = 0; i < 60; ++i) {
+    NodeId a = static_cast<NodeId>(rnd(n));
+    NodeId b = static_cast<NodeId>(rnd(n));
+    if (a == b) continue;
+    ids.push_back(g.add_link(a, b, 1.0 + static_cast<double>(rnd(4))));
+  }
+  g.ensure_csr();
+  for (int round = 0; round < 40; ++round) {
+    LinkId pick = ids[rnd(ids.size())];
+    if (g.link_live(pick))
+      g.remove_link(pick);
+    else
+      g.restore_link(pick);
+    // Rebuild from scratch with only the live links and compare adjacency.
+    Graph fresh(n);
+    std::vector<LinkId> fresh_of(g.link_count(), kInvalidLink);
+    for (LinkId id = 0; id < g.link_count(); ++id) {
+      if (!g.link_live(id)) continue;
+      const Link& l = g.link(id);
+      fresh_of[id] = fresh.add_link(l.a, l.b, l.capacity);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      auto got = arcs_of(g, v);
+      for (auto& [to, id] : got) id = fresh_of[id];
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, arcs_of(fresh, v)) << "node " << v << " round " << round;
+    }
+    EXPECT_EQ(g.live_link_count(), fresh.link_count());
+  }
+}
+
+// add_link after liveness edits forces the full-rebuild path; adjacency
+// must still be exact.
+TEST(GraphEdits, AddAfterRemoveRebuildsCorrectly) {
+  Graph g(4);
+  LinkId l01 = g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.ensure_csr();
+  g.remove_link(l01);
+  LinkId l23 = g.add_link(2, 3);
+  EXPECT_EQ(g.live_link_count(), 2u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.connected(2, 3));
+  EXPECT_TRUE(g.link_live(l23));
+  g.restore_link(l01);
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+// Many flips at once (past the patch threshold) must fall back to a full
+// rebuild and still be exact.
+TEST(GraphEdits, LargeDeltaFallsBackToFullRebuild) {
+  const std::size_t n = 10;
+  Graph g(n);
+  std::vector<LinkId> ids;
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b) ids.push_back(g.add_link(a, b));
+  g.ensure_csr();
+  for (LinkId id : ids) g.remove_link(id);  // 45 flips > max(16, 45/8)
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), 0u);
+  for (LinkId id : ids) g.restore_link(id);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), n - 1);
 }
 
 }  // namespace

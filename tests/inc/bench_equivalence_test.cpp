@@ -1,0 +1,92 @@
+// End-to-end check of the --incremental contract: a sweep bench's stdout
+// must be byte-identical with and without the flag, at more than one
+// thread count, while the incremental run's manifest shows the work it
+// skipped. FT_BENCH_DIR is injected by CMake; the test skips cleanly when
+// the binaries are not built.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace flattree {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+}
+
+/// Runs `bench args > out 2>/dev/null`, returning the exit status.
+int run(const std::string& bench, const std::string& args, const std::string& out) {
+  std::string cmd = bench + " " + args + " > " + out + " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+std::uint64_t metric_value(const std::string& doc, const std::string& name) {
+  std::size_t at = doc.find("\"" + name + "\"");
+  if (at == std::string::npos) return 0;
+  at = doc.find(':', at);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(doc.c_str() + at + 1, nullptr, 10);
+}
+
+TEST(BenchEquivalence, FailureSweepIsByteIdenticalAndCheaper) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_failures";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+
+  const std::string base = "--max-failures 4 --seeds 1";
+  std::string tmp = testing::TempDir();
+  for (const char* threads : {"1", "4"}) {
+    std::string cold_out = tmp + "bf_cold_" + threads + ".txt";
+    std::string inc_out = tmp + "bf_inc_" + threads + ".txt";
+    std::string args = base + " --threads " + threads;
+    ASSERT_EQ(run(bench, args, cold_out), 0);
+    ASSERT_EQ(run(bench, args + " --incremental", inc_out), 0);
+    EXPECT_EQ(slurp(cold_out), slurp(inc_out)) << "threads=" << threads;
+  }
+
+  // The incremental manifest must show real savings: fewer cold BFS node
+  // visits than the cold run, and GK phases inherited via exact resume.
+  std::string cold_json = tmp + "bf_cold.json";
+  std::string inc_json = tmp + "bf_inc.json";
+  ASSERT_EQ(run(bench, base + " --threads 2 --metrics-json=" + cold_json, "/dev/null"), 0);
+  ASSERT_EQ(run(bench, base + " --threads 2 --incremental --metrics-json=" + inc_json,
+                "/dev/null"),
+            0);
+  std::string cold_doc = slurp(cold_json);
+  std::string inc_doc = slurp(inc_json);
+  std::uint64_t cold_visits = metric_value(cold_doc, "graph.bfs.nodes_visited");
+  std::uint64_t inc_visits = metric_value(inc_doc, "graph.bfs.nodes_visited");
+  ASSERT_GT(cold_visits, 0u);
+  EXPECT_LT(inc_visits * 2, cold_visits)
+      << "incremental mode should at least halve cold BFS work";
+  EXPECT_GT(metric_value(inc_doc, "inc.mcf.warm_phases_saved"), 0u);
+  EXPECT_EQ(metric_value(cold_doc, "inc.mcf.warm_phases_saved"), 0u);
+}
+
+TEST(BenchEquivalence, AblationSweepIsByteIdentical) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_ablation_mn";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+
+  std::string tmp = testing::TempDir();
+  std::string cold_out = tmp + "ba_cold.txt";
+  std::string inc_out = tmp + "ba_inc.txt";
+  ASSERT_EQ(run(bench, "--kmax 8 --threads 2", cold_out), 0);
+  ASSERT_EQ(run(bench, "--kmax 8 --threads 2 --incremental", inc_out), 0);
+  EXPECT_EQ(slurp(cold_out), slurp(inc_out));
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,132 @@
+#include "inc/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace flattree::inc {
+namespace {
+
+using graph::Graph;
+using graph::LinkId;
+using graph::NodeId;
+
+// Sorted live (a, b, capacity) triples, the multiset the delta must match.
+std::vector<std::tuple<NodeId, NodeId, double>> live_set(const Graph& g) {
+  std::vector<std::tuple<NodeId, NodeId, double>> out;
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    if (!g.link_live(id)) continue;
+    const auto& l = g.link(id);
+    out.emplace_back(std::min(l.a, l.b), std::max(l.a, l.b), l.capacity);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Delta, IdenticalGraphsEmptyDelta) {
+  Graph a(4), b(4);
+  a.add_link(0, 1);
+  a.add_link(1, 2, 3.0);
+  b.add_link(1, 2, 3.0);  // different id order must not matter
+  b.add_link(0, 1);
+  GraphDelta d = diff_graphs(a, b);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Delta, NodeCountMismatchThrows) {
+  Graph a(3), b(4);
+  EXPECT_THROW(diff_graphs(a, b), std::invalid_argument);
+}
+
+TEST(Delta, PureRemoval) {
+  Graph a(3), b(3);
+  a.add_link(0, 1);
+  LinkId gone = a.add_link(1, 2);
+  b.add_link(0, 1);
+  GraphDelta d = diff_graphs(a, b);
+  ASSERT_EQ(d.remove.size(), 1u);
+  EXPECT_EQ(d.remove[0], gone);
+  EXPECT_TRUE(d.restore.empty());
+  EXPECT_TRUE(d.add.empty());
+}
+
+TEST(Delta, PrefersRestoreOverAdd) {
+  Graph a(3), b(3);
+  a.add_link(0, 1);
+  LinkId dead = a.add_link(1, 2, 2.0);
+  a.remove_link(dead);
+  b.add_link(0, 1);
+  b.add_link(2, 1, 2.0);  // flipped endpoints, same capacity -> same key
+  GraphDelta d = diff_graphs(a, b);
+  ASSERT_EQ(d.restore.size(), 1u);
+  EXPECT_EQ(d.restore[0], dead);
+  EXPECT_TRUE(d.add.empty());
+  EXPECT_TRUE(d.remove.empty());
+}
+
+TEST(Delta, CapacityMismatchIsNotAMatch) {
+  Graph a(3), b(3);
+  a.add_link(0, 1, 1.0);
+  b.add_link(0, 1, 2.0);
+  GraphDelta d = diff_graphs(a, b);
+  EXPECT_EQ(d.remove.size(), 1u);
+  EXPECT_EQ(d.add.size(), 1u);
+}
+
+TEST(Delta, ParallelLinksMatchByMultiplicity) {
+  Graph a(2), b(2);
+  a.add_link(0, 1);
+  a.add_link(0, 1);
+  a.add_link(0, 1);
+  b.add_link(0, 1);
+  GraphDelta d = diff_graphs(a, b);
+  EXPECT_EQ(d.remove.size(), 2u);
+  EXPECT_TRUE(d.add.empty());
+}
+
+TEST(Delta, ApplyConvergesToTarget) {
+  util::Rng rng(7);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n = 12;
+    Graph engine(n), target(n);
+    for (int i = 0; i < 25; ++i) {
+      NodeId x = static_cast<NodeId>(rng.below(n));
+      NodeId y = static_cast<NodeId>(rng.below(n));
+      if (x != y) engine.add_link(x, y, 1.0 + static_cast<double>(rng.below(3)));
+    }
+    for (int i = 0; i < 25; ++i) {
+      NodeId x = static_cast<NodeId>(rng.below(n));
+      NodeId y = static_cast<NodeId>(rng.below(n));
+      if (x != y) target.add_link(x, y, 1.0 + static_cast<double>(rng.below(3)));
+    }
+    GraphDelta d = diff_graphs(engine, target);
+    apply_delta(engine, d);
+    EXPECT_EQ(live_set(engine), live_set(target)) << "round " << round;
+    // A second diff against the same target must now be empty.
+    EXPECT_TRUE(diff_graphs(engine, target).empty());
+  }
+}
+
+TEST(Delta, RoundTripReusesTombstones) {
+  Graph engine(4), degraded(4), healthy(4);
+  for (auto* g : {&engine, &healthy}) {
+    g->add_link(0, 1);
+    g->add_link(1, 2);
+    g->add_link(2, 3);
+  }
+  degraded.add_link(0, 1);
+  degraded.add_link(2, 3);
+
+  apply_delta(engine, diff_graphs(engine, degraded));
+  std::size_t slots_after_degrade = engine.link_count();
+  apply_delta(engine, diff_graphs(engine, healthy));
+  // Coming back to the healthy set must restore the tombstone, not append.
+  EXPECT_EQ(engine.link_count(), slots_after_degrade);
+  EXPECT_EQ(live_set(engine), live_set(healthy));
+}
+
+}  // namespace
+}  // namespace flattree::inc

@@ -1,0 +1,278 @@
+// Equivalence suite for the incremental BFS engine: repaired distance
+// arrays must be *bitwise* what a cold BFS computes, across randomized
+// delta sequences over many seeds; corruptions must be caught by
+// check::certify_distances (negative controls). Also carries the
+// ThreadSanitizer regression test for the lazy-CSR double-checked lock on
+// the edit-journal path (concurrent read-after-mutate).
+
+#include "inc/dynamic_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "check/distances.hpp"
+#include "graph/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace flattree::inc {
+namespace {
+
+using graph::Graph;
+using graph::kUnreachable;
+using graph::LinkId;
+using graph::NodeId;
+
+Graph random_graph(util::Rng& rng, std::size_t n, std::size_t links) {
+  Graph g(n);
+  for (std::size_t i = 0; i < links; ++i) {
+    NodeId a = static_cast<NodeId>(rng.below(n));
+    NodeId b = static_cast<NodeId>(rng.below(n));
+    if (a != b) g.add_link(a, b);
+  }
+  return g;
+}
+
+/// Cold reference: one BFS per source on the engine's current graph.
+void expect_all_sources_cold_equal(DynamicApsp& engine, const char* what) {
+  const Graph& g = engine.graph();
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto& inc_dist = engine.distances(s);
+    auto cold = graph::bfs_distances(g, s);
+    ASSERT_EQ(inc_dist, cold) << what << ", source " << s;
+  }
+}
+
+TEST(DynamicBfs, ColdComputeMatchesBfs) {
+  util::Rng rng(1);
+  Graph g = random_graph(rng, 20, 40);
+  DynamicApsp engine(g);
+  expect_all_sources_cold_equal(engine, "cold");
+}
+
+// The headline property: across randomized remove/restore/add sequences
+// over >= 20 seeds, every repaired array equals a cold BFS bitwise, and
+// every array passes the distance certificate.
+TEST(DynamicBfs, RandomDeltaSequencesStayExact) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    util::Rng rng(seed * 1000 + 17);
+    const std::size_t n = 18;
+    Graph target = random_graph(rng, n, 36);
+    DynamicApsp engine(target);
+    // Materialize every source once so retargets must repair them all.
+    for (NodeId s = 0; s < n; ++s) engine.distances(s);
+
+    for (int step = 0; step < 8; ++step) {
+      // Mutate the target: drop a few live links, add a few fresh ones.
+      std::vector<LinkId> live;
+      for (LinkId id = 0; id < target.link_count(); ++id)
+        if (target.link_live(id)) live.push_back(id);
+      std::size_t drops = 1 + rng.below(3);
+      for (std::size_t i = 0; i < drops && !live.empty(); ++i) {
+        std::size_t pick = rng.index(live.size());
+        target.remove_link(live[pick]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      std::size_t adds = rng.below(3);
+      for (std::size_t i = 0; i < adds; ++i) {
+        NodeId a = static_cast<NodeId>(rng.below(n));
+        NodeId b = static_cast<NodeId>(rng.below(n));
+        if (a != b) target.add_link(a, b);
+      }
+
+      engine.retarget(target);
+      expect_all_sources_cold_equal(engine, "after retarget");
+      check::Report report = engine.verify_all_cached();
+      EXPECT_TRUE(report.ok()) << "seed " << seed << " step " << step << "\n"
+                               << report.to_string();
+    }
+  }
+}
+
+TEST(DynamicBfs, DisconnectionAndReconnection) {
+  // A path graph: killing a middle link splits it; repairs must mark the
+  // far side unreachable and bring it back on restore.
+  const std::size_t n = 10;
+  Graph target(n);
+  for (NodeId v = 0; v + 1 < n; ++v) target.add_link(v, v + 1);
+  DynamicApsp engine(target);
+  for (NodeId s = 0; s < n; ++s) engine.distances(s);
+
+  Graph cut = target;
+  cut.remove_link(4);  // link 4 joins nodes 4 and 5
+  engine.retarget(cut);
+  EXPECT_EQ(engine.distances(0)[9], kUnreachable);
+  EXPECT_EQ(engine.distances(9)[0], kUnreachable);
+  expect_all_sources_cold_equal(engine, "cut");
+
+  engine.retarget(target);
+  EXPECT_EQ(engine.distances(0)[9], 9u);
+  expect_all_sources_cold_equal(engine, "healed");
+}
+
+TEST(DynamicBfs, AddedShortcutPropagatesBeyondAffectedRegion) {
+  // Ring + chord: the chord shortens distances for nodes far from any
+  // removal, exercising the phase-3 relaxation on its own.
+  const std::size_t n = 12;
+  Graph target(n);
+  for (NodeId v = 0; v < n; ++v) target.add_link(v, static_cast<NodeId>((v + 1) % n));
+  DynamicApsp engine(target);
+  for (NodeId s = 0; s < n; ++s) engine.distances(s);
+
+  Graph chord = target;
+  chord.add_link(0, 6);
+  engine.retarget(chord);
+  EXPECT_EQ(engine.distances(0)[6], 1u);
+  EXPECT_EQ(engine.distances(8)[4], 4u);  // 8-...-11-0-6-5-4? no: 8-7-6-5-4 stays 4
+  EXPECT_EQ(engine.distances(11)[5], 3u);  // 11-0-6-5 via the chord (was 6)
+  expect_all_sources_cold_equal(engine, "chord");
+}
+
+TEST(DynamicBfs, ChurnThresholdFallsBackToFullBfs) {
+  // Path graph: cutting a middle link affects *every* source (each loses
+  // the far side of the cut), so threshold 0 forces the full-BFS fallback
+  // for all of them.
+  const std::size_t n = 16;
+  Graph target(n);
+  for (NodeId v = 0; v + 1 < n; ++v) target.add_link(v, v + 1);
+  DynamicApspOptions opt;
+  opt.churn_threshold = 0.0;  // every affected source goes the full-BFS path
+  DynamicApsp engine(target, opt);
+  for (NodeId s = 0; s < n; ++s) engine.distances(s);
+
+  target.remove_link(7);  // cut between nodes 7 and 8
+  RetargetStats stats = engine.retarget(target);
+  EXPECT_EQ(stats.sources_rebuilt, n);
+  EXPECT_EQ(stats.sources_repaired, 0u);
+  EXPECT_EQ(stats.sources_untouched, 0u);
+  expect_all_sources_cold_equal(engine, "fallback");
+
+  // Same edit with a permissive threshold repairs instead of rebuilding.
+  DynamicApsp lax(engine.graph());
+  for (NodeId s = 0; s < n; ++s) lax.distances(s);
+  Graph healed = engine.graph();
+  healed.restore_link(7);
+  RetargetStats lax_stats = lax.retarget(healed);
+  EXPECT_EQ(lax_stats.sources_rebuilt, 0u);
+  EXPECT_GT(lax_stats.sources_repaired, 0u);
+  expect_all_sources_cold_equal(lax, "lax");
+}
+
+TEST(DynamicBfs, UntouchedSourcesDoNoWork) {
+  // Two disjoint components; edits in one must leave the other's sources
+  // untouched.
+  Graph target(8);
+  target.add_link(0, 1);
+  target.add_link(1, 2);
+  target.add_link(2, 3);
+  LinkId far = target.add_link(4, 5);
+  target.add_link(5, 6);
+  target.add_link(6, 7);
+  DynamicApsp engine(target);
+  for (NodeId s = 0; s < 8; ++s) engine.distances(s);
+
+  target.remove_link(far);
+  RetargetStats stats = engine.retarget(target);
+  // Sources 0..3: tree untouched (their component did not change).
+  EXPECT_GE(stats.sources_untouched, 4u);
+  expect_all_sources_cold_equal(engine, "disjoint");
+}
+
+// -- negative controls -----------------------------------------------------
+
+TEST(DynamicBfs, CertificateCatchesCorruptedCache) {
+  util::Rng rng(9);
+  Graph target = random_graph(rng, 14, 30);
+  DynamicApsp engine(target);
+  for (NodeId s = 0; s < 14; ++s) engine.distances(s);
+  ASSERT_TRUE(engine.verify_all_cached().ok());
+
+  // Corrupt one entry: shift a node one hop closer than possible.
+  const auto& dist = engine.distances(0);
+  NodeId victim = 0;
+  for (NodeId v = 1; v < 14; ++v)
+    if (dist[v] != kUnreachable && dist[v] >= 2) victim = v;
+  ASSERT_NE(victim, 0u) << "test graph too small/disconnected";
+  engine.corrupt_cache_for_test(0, victim, engine.distances(0)[victim] - 2);
+  check::Report report = engine.verify(0);
+  EXPECT_FALSE(report.ok());
+
+  // Repairing the graph does not launder corruption: fix it and recheck.
+  engine.corrupt_cache_for_test(0, victim, kUnreachable);
+  EXPECT_FALSE(engine.verify(0).ok());  // false unreachable is caught too
+}
+
+TEST(DistanceCertificate, AcceptsColdBfsAndRejectsTampering) {
+  util::Rng rng(11);
+  Graph g = random_graph(rng, 16, 34);
+  for (NodeId s = 0; s < 4; ++s) {
+    auto dist = graph::bfs_distances(g, s);
+    EXPECT_TRUE(check::certify_distances(g, s, dist).ok());
+
+    auto broken = dist;
+    broken[s] = 1;  // anchor violation
+    EXPECT_FALSE(check::certify_distances(g, s, broken).ok());
+
+    broken = dist;
+    for (NodeId v = 0; v < 16; ++v) {
+      if (v != s && broken[v] != kUnreachable && broken[v] > 0) {
+        broken[v] += 5;  // step violation across some link
+        break;
+      }
+    }
+    EXPECT_FALSE(check::certify_distances(g, s, broken).ok());
+
+    broken = dist;
+    broken.pop_back();  // size violation
+    EXPECT_FALSE(check::certify_distances(g, s, broken).ok());
+  }
+}
+
+// -- concurrency regression (run under the tsan preset, label `inc`) -------
+
+// The lazy-CSR double-checked lock must publish a *patched* index to
+// readers that race on the first neighbors() call after an edit-journal
+// mutation (remove/restore). Before the fix, only add_link invalidated the
+// guard; remove_link left csr_valid_ stale so concurrent readers could see
+// the dead link. The mutation itself happens-before the reader threads
+// (thread creation), per the documented contract.
+TEST(DynamicBfs, ConcurrentReadAfterMutateIsRaceFree) {
+  util::Rng rng(13);
+  Graph g = random_graph(rng, 24, 60);
+  g.ensure_csr();  // build once so the edit takes the patch path
+
+  std::vector<LinkId> live;
+  for (LinkId id = 0; id < g.link_count(); ++id)
+    if (g.link_live(id)) live.push_back(id);
+
+  for (int round = 0; round < 8; ++round) {
+    LinkId flip = live[rng.index(live.size())];
+    if (g.link_live(flip))
+      g.remove_link(flip);
+    else
+      g.restore_link(flip);
+    // Readers race each other on the lazily patched CSR (the mutation
+    // above is sequenced before both threads start).
+    auto reader = [&g]() {
+      for (NodeId s = 0; s < g.node_count(); s += 3) {
+        auto dist = graph::bfs_distances(g, s);
+        ASSERT_EQ(dist.size(), g.node_count());
+      }
+    };
+    std::thread t1(reader), t2(reader), t3(reader);
+    t1.join();
+    t2.join();
+    t3.join();
+    // The patched view must match what a from-scratch rebuild sees.
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      Graph fresh(g.node_count());
+      for (LinkId id = 0; id < g.link_count(); ++id)
+        if (g.link_live(id)) fresh.add_link(g.link(id).a, g.link(id).b);
+      ASSERT_EQ(graph::bfs_distances(g, s), graph::bfs_distances(fresh, s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flattree::inc
