@@ -120,4 +120,81 @@ Report certify(const graph::Graph& g, const std::vector<mcf::Commodity>& commodi
   return report;
 }
 
+Report certify_served(const graph::Graph& g,
+                      const std::vector<mcf::Commodity>& commodities,
+                      const mcf::McfResult& result, const CertifyOptions& options) {
+  count_run();
+  Report report;
+
+  // Unreachable index list well-formed: strictly ascending, in range.
+  report.note_check();
+  bool indices_ok = true;
+  for (std::size_t j = 0; j < result.unreachable.size(); ++j) {
+    std::uint32_t idx = result.unreachable[j];
+    if (idx >= commodities.size() || (j > 0 && idx <= result.unreachable[j - 1])) {
+      std::ostringstream os;
+      os << "unreachable[" << j << "] = " << idx << " is "
+         << (idx >= commodities.size() ? "out of range" : "not strictly ascending");
+      report.add("mcf.unreachable_index", os.str());
+      indices_ok = false;
+    }
+  }
+  if (!indices_ok) return report;  // the filtering below would be garbage
+
+  report.note_check();
+  if (result.commodity_routed.size() != commodities.size()) {
+    report.add("mcf.routed_size",
+               "commodity_routed has " + std::to_string(result.commodity_routed.size()) +
+                   " entries for " + std::to_string(commodities.size()) + " commodities");
+    return report;
+  }
+
+  // Excluded commodities must carry exactly zero flow — anything else
+  // means the solver routed through a cut it declared impassable.
+  report.note_check();
+  std::vector<char> excluded(commodities.size(), 0);
+  for (std::uint32_t idx : result.unreachable) {
+    excluded[idx] = 1;
+    if (result.commodity_routed[idx] != 0.0) {
+      std::ostringstream os;
+      os << "unreachable commodity " << idx << " (" << commodities[idx].src << " -> "
+         << commodities[idx].dst << ") routed " << result.commodity_routed[idx]
+         << ", expected exactly 0";
+      report.add("mcf.unreachable_routed", os.str());
+    }
+  }
+
+  // served_fraction must equal the demand-weighted reachable share.
+  report.note_check();
+  double total_demand = 0.0, reachable_demand = 0.0;
+  for (std::size_t i = 0; i < commodities.size(); ++i) {
+    total_demand += commodities[i].demand;
+    if (!excluded[i]) reachable_demand += commodities[i].demand;
+  }
+  double expected = total_demand > 0.0 ? reachable_demand / total_demand : 0.0;
+  double slack = options.abs_tol + options.rel_tol;
+  if (std::abs(result.served_fraction - expected) > slack) {
+    std::ostringstream os;
+    os << "served_fraction " << result.served_fraction
+       << " != demand-weighted reachable share " << expected;
+    report.add("mcf.served_fraction", os.str());
+  }
+
+  // Full battery on the reachable sub-instance. With nothing excluded this
+  // is certify() verbatim; with everything excluded it certifies the
+  // degenerate zero solve (zero arc flows, empty commodity set).
+  std::vector<mcf::Commodity> reachable;
+  mcf::McfResult sub = result;
+  sub.commodity_routed.clear();
+  sub.unreachable.clear();
+  sub.served_fraction = 1.0;
+  for (std::size_t i = 0; i < commodities.size(); ++i) {
+    if (excluded[i]) continue;
+    reachable.push_back(commodities[i]);
+    sub.commodity_routed.push_back(result.commodity_routed[i]);
+  }
+  report.merge(certify(g, reachable, sub, options));
+  return report;
+}
+
 }  // namespace flattree::check

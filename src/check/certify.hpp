@@ -46,4 +46,19 @@ struct CertifyOptions {
 Report certify(const graph::Graph& g, const std::vector<mcf::Commodity>& commodities,
                const mcf::McfResult& result, const CertifyOptions& options = {});
 
+/// Certifies a McfOptions::allow_unreachable solve. First checks the
+/// degraded-service claims themselves — result.unreachable indices are
+/// sorted/in-range (mcf.unreachable_index), excluded commodities routed
+/// exactly zero flow (mcf.unreachable_routed), and served_fraction equals
+/// the demand-weighted reachable share (mcf.served_fraction) — then runs
+/// the full certify() battery on the *reachable sub-instance* (excluded
+/// commodities and their routed entries filtered out), so the bracket and
+/// FPTAS gap are certified for exactly what the solver claims it solved.
+/// A fully-disconnected instance (served_fraction == 0) certifies iff the
+/// result is the degenerate zero solve. Equivalent to certify() when
+/// result.unreachable is empty.
+Report certify_served(const graph::Graph& g,
+                      const std::vector<mcf::Commodity>& commodities,
+                      const mcf::McfResult& result, const CertifyOptions& options = {});
+
 }  // namespace flattree::check

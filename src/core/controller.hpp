@@ -54,7 +54,10 @@ class Controller {
   /// Logical topology under the live configuration.
   topo::Topology topology() const { return net_.materialize(configs_); }
 
- private:
+ protected:
+  // Subclasses (fault::ResilientController) drive the configuration
+  // directly — partial plan application and fault-aware recovery mutate
+  // configs_ outside the mode-level apply() path.
   ReconfigPlan diff(const std::vector<ConverterConfig>& from,
                     const std::vector<ConverterConfig>& to) const;
 

@@ -1,6 +1,7 @@
 #include "core/recovery.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,18 +18,43 @@ obs::Counter c_unrecoverable("core.recovery.unrecoverable");
 
 }  // namespace
 
+void FailureSet::normalize(std::size_t switch_count) {
+  std::sort(failed_switches.begin(), failed_switches.end());
+  failed_switches.erase(std::unique(failed_switches.begin(), failed_switches.end()),
+                        failed_switches.end());
+  if (!failed_switches.empty() && failed_switches.back() >= switch_count)
+    throw std::invalid_argument("FailureSet: switch id " +
+                                std::to_string(failed_switches.back()) +
+                                " out of range (have " + std::to_string(switch_count) +
+                                " switches)");
+}
+
 bool FailureSet::contains(NodeId node) const {
+  if (std::is_sorted(failed_switches.begin(), failed_switches.end()))
+    return std::binary_search(failed_switches.begin(), failed_switches.end(), node);
   return std::find(failed_switches.begin(), failed_switches.end(), node) !=
          failed_switches.end();
+}
+
+FailureMask::FailureMask(const FailureSet& failures, std::size_t switch_count)
+    : mask_(switch_count, 0) {
+  for (NodeId node : failures.failed_switches) {
+    if (node >= switch_count)
+      throw std::invalid_argument("FailureSet: switch id " + std::to_string(node) +
+                                  " out of range (have " + std::to_string(switch_count) +
+                                  " switches)");
+    if (mask_[node] == 0) {
+      mask_[node] = 1;
+      ++count_;
+    }
+  }
 }
 
 DegradedTopology apply_failures(const topo::Topology& source, const FailureSet& failures) {
   OBS_SPAN("core.recovery.apply_failures");
   c_failures_applied.inc();
   DegradedTopology out;
-  std::vector<char> failed(source.switch_count(), 0);
-  for (NodeId node : failures.failed_switches)
-    if (node < source.switch_count()) failed[node] = 1;
+  FailureMask failed(failures, source.switch_count());
 
   // Rebuild with the same switch ids; drop links touching failed switches.
   for (NodeId v = 0; v < source.switch_count(); ++v) {
@@ -37,7 +63,7 @@ DegradedTopology apply_failures(const topo::Topology& source, const FailureSet& 
   }
   for (graph::LinkId l = 0; l < source.link_count(); ++l) {
     const graph::Link& link = source.graph().link(l);
-    if (failed[link.a] || failed[link.b]) {
+    if (failed.failed(link.a) || failed.failed(link.b)) {
       ++out.failed_links;
       continue;
     }
@@ -46,7 +72,7 @@ DegradedTopology apply_failures(const topo::Topology& source, const FailureSet& 
   for (ServerId s = 0; s < source.server_count(); ++s) {
     NodeId host = source.host(s);
     out.topo.add_server(host);
-    if (failed[host]) out.stranded_servers.push_back(s);
+    if (failed.failed(host)) out.stranded_servers.push_back(s);
   }
   c_failed_links.add(out.failed_links);
   return out;
@@ -75,9 +101,9 @@ struct StandaloneChoice {
   bool recovered = true;
 };
 
-StandaloneChoice safe_standalone(const Converter& c, const FailureSet& failures) {
-  if (!failures.contains(c.agg)) return {ConverterConfig::Local, true};
-  if (!failures.contains(c.edge)) return {ConverterConfig::Default, true};
+StandaloneChoice safe_standalone(const Converter& c, const FailureMask& failed) {
+  if (!failed.failed(c.agg)) return {ConverterConfig::Local, true};
+  if (!failed.failed(c.edge)) return {ConverterConfig::Default, true};
   return {ConverterConfig::Local, false};
 }
 
@@ -88,13 +114,14 @@ RecoveryPlan plan_recovery(const FlatTreeNetwork& net,
                            const FailureSet& failures) {
   OBS_SPAN("core.recovery.plan");
   c_recovery_plans.inc();
+  FailureMask failed(failures, net.params().total_switches());
   RecoveryPlan plan;
   plan.configs = configs;
   std::vector<ConverterConfig>& recovered = plan.configs;
   const auto& converters = net.converters();
   std::vector<char> flipped(converters.size(), 0);
   auto flip_standalone = [&](std::uint32_t idx) {
-    StandaloneChoice choice = safe_standalone(converters[idx], failures);
+    StandaloneChoice choice = safe_standalone(converters[idx], failed);
     recovered[idx] = choice.config;
     flipped[idx] = 1;
     if (!choice.recovered) plan.unrecoverable.push_back(idx);
@@ -111,10 +138,10 @@ RecoveryPlan plan_recovery(const FlatTreeNetwork& net,
       // visits the pair at its lower index while both ends still carry
       // the paired config, so each pair is handled exactly once.
       const Converter& peer = converters[c.peer];
-      if (!failures.contains(c.core) && !failures.contains(peer.core)) continue;
+      if (!failed.failed(c.core) && !failed.failed(peer.core)) continue;
       flip_standalone(i);
       flip_standalone(c.peer);
-    } else if (failures.contains(server_home(c, cfg))) {
+    } else if (failed.failed(server_home(c, cfg))) {
       flip_standalone(i);
     }
   }
@@ -133,9 +160,10 @@ std::size_t stranded_server_count(const FlatTreeNetwork& net,
                                   const std::vector<ConverterConfig>& configs,
                                   const FailureSet& failures) {
   topo::Topology t = net.materialize(configs);
+  FailureMask failed(failures, t.switch_count());
   std::size_t stranded = 0;
   for (ServerId s = 0; s < t.server_count(); ++s)
-    if (failures.contains(t.host(s))) ++stranded;
+    if (failed.failed(t.host(s))) ++stranded;
   return stranded;
 }
 

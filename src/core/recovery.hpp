@@ -19,11 +19,40 @@
 namespace flattree::core {
 
 /// Failed equipment (switch granularity; converter switches are assumed
-/// reliable — they are passive circuit devices).
+/// reliable — they are passive circuit devices. src/fault models the
+/// richer time-ordered fault classes: links, converters, repairs).
 struct FailureSet {
   std::vector<NodeId> failed_switches;
 
+  /// Canonicalizes the set in place: sorts, drops duplicates, and throws
+  /// std::invalid_argument when any id is >= `switch_count`. The recovery
+  /// entry points (apply_failures, plan_recovery, stranded_server_count)
+  /// normalize internally, so raw (unsorted, duplicated) input remains
+  /// accepted there; call this yourself before relying on contains().
+  void normalize(std::size_t switch_count);
+
+  /// Membership test. O(log n) via binary search on a normalized set,
+  /// O(n) fallback scan otherwise (correct either way; the hot per-link /
+  /// per-converter paths use FailureMask instead and never call this).
   bool contains(NodeId node) const;
+};
+
+/// Dense O(1) failure lookup built once per recovery operation — the
+/// sorted-vector/bitset replacement for the per-link FailureSet::contains
+/// scans apply_failures and plan_recovery used to do.
+class FailureMask {
+ public:
+  /// Builds the mask; duplicates collapse, out-of-range ids throw
+  /// std::invalid_argument (the validation layer for raw failure input).
+  FailureMask(const FailureSet& failures, std::size_t switch_count);
+
+  bool failed(NodeId node) const { return mask_[node] != 0; }
+  /// Number of distinct failed switches.
+  std::size_t count() const { return count_; }
+
+ private:
+  std::vector<char> mask_;
+  std::size_t count_ = 0;
 };
 
 /// The degraded logical network: `topo` with failed switches' links

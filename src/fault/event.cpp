@@ -1,0 +1,29 @@
+#include "fault/event.hpp"
+
+namespace flattree::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::LinkDown: return "link_down";
+    case FaultKind::LinkUp: return "link_up";
+    case FaultKind::SwitchDown: return "switch_down";
+    case FaultKind::SwitchUp: return "switch_up";
+    case FaultKind::ConverterStuck: return "converter_stuck";
+    case FaultKind::ConverterFreed: return "converter_freed";
+  }
+  return "unknown";
+}
+
+bool parse_fault_kind(const std::string& token, FaultKind& out) {
+  for (FaultKind k : {FaultKind::LinkDown, FaultKind::LinkUp, FaultKind::SwitchDown,
+                      FaultKind::SwitchUp, FaultKind::ConverterStuck,
+                      FaultKind::ConverterFreed}) {
+    if (token == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace flattree::fault

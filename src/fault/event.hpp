@@ -1,0 +1,87 @@
+#pragma once
+// Timed fault/repair events — the vocabulary of src/fault.
+//
+// Every fault class the subsystem models is expressed as a small set of
+// event kinds applied in simulated-time order:
+//
+//   LinkDown/LinkUp        a switch pair's cabling fails / is repaired.
+//                          Keyed by the normalized *endpoint pair*, not a
+//                          LinkId: logical link ids are reshuffled by every
+//                          conversion, but switch ids are stable across
+//                          fat-tree and any flat-tree configuration, so one
+//                          trace replays identically on both (bench_chaos
+//                          relies on this). While a pair is down, any live
+//                          logical link between the two switches — present
+//                          now or created by a later reconfiguration — is
+//                          unusable. Flapping links are just bursts of
+//                          rapid LinkDown/LinkUp cycles.
+//   SwitchDown/SwitchUp    whole-switch failure / repair. Correlated
+//                          pod-level power-domain failures are emitted as
+//                          one SwitchDown per switch in the pod at the same
+//                          instant (and matching SwitchUps at repair);
+//                          FaultState's per-switch down *counts* make the
+//                          overlap with independent switch failures unwind
+//                          exactly.
+//   ConverterStuck/ConverterFreed
+//                          a converter's actuation fails: it is frozen at
+//                          whatever configuration it currently holds until
+//                          freed. The data plane through it keeps working —
+//                          only reconfiguration is blocked, which is what
+//                          stresses the resilient controller's replanning.
+//
+// Events order by (time, kind, a, b) — a total order, so any two replays
+// of the same trace apply events identically even when several coincide.
+
+#include <cstdint>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace flattree::fault {
+
+using topo::NodeId;
+
+/// Event classes; every Down/Stuck kind has a matching Up/Freed repair.
+enum class FaultKind : std::uint8_t {
+  LinkDown,
+  LinkUp,
+  SwitchDown,
+  SwitchUp,
+  ConverterStuck,
+  ConverterFreed,
+};
+
+/// Stable lowercase token for the scenario text format ("link_down", ...).
+const char* to_string(FaultKind kind);
+/// Inverse of to_string; returns false when `token` names no kind.
+bool parse_fault_kind(const std::string& token, FaultKind& out);
+
+/// One timed event. `a` is the switch id (Switch*), the lower endpoint of
+/// the normalized pair (Link*), or the converter index (Converter*); `b`
+/// is the higher endpoint for Link* events and 0 otherwise.
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::LinkDown;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  /// Total order used by scenarios: (time, kind, a, b).
+  friend bool operator<(const FaultEvent& x, const FaultEvent& y) {
+    if (x.time != y.time) return x.time < y.time;
+    if (x.kind != y.kind) return x.kind < y.kind;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+  friend bool operator==(const FaultEvent& x, const FaultEvent& y) {
+    return x.time == y.time && x.kind == y.kind && x.a == y.a && x.b == y.b;
+  }
+};
+
+/// Normalized (low, high) endpoint key for Link* events.
+inline std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t lo = a < b ? a : b;
+  std::uint32_t hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace flattree::fault

@@ -1,0 +1,44 @@
+#pragma once
+// Fault-model validators (check:: battery extensions for src/fault).
+//
+// check_degraded is the per-instant validity battery the resilient
+// controller must satisfy: the converter assignment is pairwise valid, the
+// degraded topology passes the full topology battery with stranded
+// servers declared, and — when requested — no server is *avoidably*
+// homed on dead equipment (its home switch is down while a usable
+// standalone alternative exists and nothing freezes the converter).
+// Avoidable-home checking is optional because it is an idle-state
+// guarantee: mid-conversion, a fault can legitimately leave a stale home
+// until the next micro-transactions re-route it.
+//
+// check_conserved certifies FaultState's apply/unapply bookkeeping: per
+// fault class the down tally must never trail the up tally, and the
+// tallies are equal exactly when no entity of that class is down — the
+// conservation invariant mirrored by the fault.apply.* / fault.unapply.*
+// obs counters.
+
+#include <vector>
+
+#include "check/report.hpp"
+#include "core/flat_tree.hpp"
+#include "fault/state.hpp"
+
+namespace flattree::fault {
+
+/// Knobs for check_degraded.
+struct DegradedCheckOptions {
+  /// Enforce the no-avoidably-dead-home invariant (idle-state guarantee).
+  bool flag_avoidable_homes = true;
+};
+
+/// Codes: fault.assignment, fault.avoidable_home, plus the full topo.*
+/// battery of check::validate on the degraded topology.
+check::Report check_degraded(const core::FlatTreeNetwork& net,
+                             const std::vector<core::ConverterConfig>& configs,
+                             const FaultState& state,
+                             const DegradedCheckOptions& options = {});
+
+/// Codes: fault.conservation.
+check::Report check_conserved(const FaultState& state);
+
+}  // namespace flattree::fault

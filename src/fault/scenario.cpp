@@ -1,0 +1,195 @@
+#include "fault/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace flattree::fault {
+
+namespace {
+
+obs::Counter c_generated("fault.scenario.events_generated");
+obs::Counter c_loaded("fault.scenario.events_loaded");
+
+// Substream layout: one independent stream per (fault class, entity). The
+// class tag lives in the high bits, far above any entity id, so no two
+// classes ever share a stream and re-parameterizing one class cannot shift
+// another's draws.
+constexpr std::uint64_t kLinkClass = 1ULL << 48;
+constexpr std::uint64_t kSwitchClass = 2ULL << 48;
+constexpr std::uint64_t kConverterClass = 3ULL << 48;
+constexpr std::uint64_t kPodClass = 4ULL << 48;
+
+/// Emits one entity's alternating down/up renewal process. `emit(t_down,
+/// t_up, rng)` appends the events for one outage window (possibly a
+/// flapping burst) and must not draw beyond what it needs in a fixed
+/// order.
+template <typename Emit>
+void renewal_process(util::Rng& rng, const FaultRate& rate, double duration,
+                     Emit&& emit) {
+  if (rate.mtbf <= 0.0 || rate.mttr <= 0.0) return;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(1.0 / rate.mtbf);
+    if (t >= duration) return;
+    double outage = rng.exponential(1.0 / rate.mttr);
+    emit(t, t + outage, rng);
+    t += outage;
+  }
+}
+
+}  // namespace
+
+Scenario generate_scenario(const topo::Topology& base, const ScenarioParams& params,
+                           std::size_t converter_count, std::uint32_t pod_count) {
+  Scenario s;
+  s.duration = params.duration;
+  s.seed = params.seed;
+
+  // -- link class: one process per distinct live switch pair --------------
+  std::vector<std::uint64_t> pairs;
+  const graph::Graph& g = base.graph();
+  for (graph::LinkId l = 0; l < g.link_count(); ++l) {
+    if (!g.link_live(l)) continue;
+    pairs.push_back(pair_key(g.link(l).a, g.link(l).b));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    std::uint32_t lo = static_cast<std::uint32_t>(pairs[pi] >> 32);
+    std::uint32_t hi = static_cast<std::uint32_t>(pairs[pi]);
+    util::Rng rng = util::Rng::substream(params.seed, kLinkClass + pi);
+    renewal_process(rng, params.link, params.duration,
+                    [&](double down, double up, util::Rng& r) {
+                      bool flap = r.chance(params.flap_probability) &&
+                                  params.flap_max_cycles >= 2;
+                      std::uint32_t cycles = 1;
+                      if (flap)
+                        cycles = 2 + static_cast<std::uint32_t>(
+                                         r.below(params.flap_max_cycles - 1));
+                      // `cycles` equal down segments separated by equal up
+                      // gaps inside [down, up]; cycles == 1 is the clean
+                      // single outage.
+                      double span = up - down;
+                      double seg = span / static_cast<double>(2 * cycles - 1);
+                      for (std::uint32_t i = 0; i < cycles; ++i) {
+                        double d = down + seg * static_cast<double>(2 * i);
+                        double u = i + 1 == cycles ? up : d + seg;
+                        s.events.push_back({d, FaultKind::LinkDown, lo, hi});
+                        s.events.push_back({u, FaultKind::LinkUp, lo, hi});
+                      }
+                    });
+  }
+
+  // -- individual switch class --------------------------------------------
+  for (NodeId v = 0; v < base.switch_count(); ++v) {
+    util::Rng rng = util::Rng::substream(params.seed, kSwitchClass + v);
+    renewal_process(rng, params.switches, params.duration,
+                    [&](double down, double up, util::Rng&) {
+                      s.events.push_back({down, FaultKind::SwitchDown, v, 0});
+                      s.events.push_back({up, FaultKind::SwitchUp, v, 0});
+                    });
+  }
+
+  // -- converter stuck-at-config class ------------------------------------
+  for (std::size_t c = 0; c < converter_count; ++c) {
+    util::Rng rng = util::Rng::substream(params.seed, kConverterClass + c);
+    renewal_process(rng, params.converter, params.duration,
+                    [&](double down, double up, util::Rng&) {
+                      std::uint32_t idx = static_cast<std::uint32_t>(c);
+                      s.events.push_back({down, FaultKind::ConverterStuck, idx, 0});
+                      s.events.push_back({up, FaultKind::ConverterFreed, idx, 0});
+                    });
+  }
+
+  // -- correlated pod power domains ---------------------------------------
+  // One renewal process per pod; each outage downs every switch in the pod
+  // at the same instant. FaultState's per-switch down counts keep the
+  // overlap with independent switch failures exact.
+  if (pod_count > 0 && params.pod_power.mtbf > 0.0) {
+    std::vector<std::vector<NodeId>> pod_switches(pod_count);
+    for (NodeId v = 0; v < base.switch_count(); ++v) {
+      std::int32_t pod = base.info(v).pod;
+      if (pod >= 0 && static_cast<std::uint32_t>(pod) < pod_count)
+        pod_switches[static_cast<std::uint32_t>(pod)].push_back(v);
+    }
+    for (std::uint32_t p = 0; p < pod_count; ++p) {
+      util::Rng rng = util::Rng::substream(params.seed, kPodClass + p);
+      renewal_process(rng, params.pod_power, params.duration,
+                      [&](double down, double up, util::Rng&) {
+                        for (NodeId v : pod_switches[p]) {
+                          s.events.push_back({down, FaultKind::SwitchDown, v, 0});
+                          s.events.push_back({up, FaultKind::SwitchUp, v, 0});
+                        }
+                      });
+    }
+  }
+
+  std::sort(s.events.begin(), s.events.end());
+  c_generated.add(s.events.size());
+  return s;
+}
+
+namespace {
+
+/// %.17g — enough significant digits to round-trip any double exactly.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void save_scenario(const Scenario& s, std::ostream& out) {
+  out << "# flattree-fault-scenario v1\n";
+  out << "duration " << fmt_double(s.duration) << "\n";
+  out << "seed " << s.seed << "\n";
+  for (const FaultEvent& e : s.events)
+    out << "e " << fmt_double(e.time) << " " << to_string(e.kind) << " " << e.a << " "
+        << e.b << "\n";
+}
+
+Scenario load_scenario(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "# flattree-fault-scenario v1")
+    throw std::runtime_error("load_scenario: missing v1 header");
+  Scenario s;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    auto fail = [&](const char* why) {
+      throw std::runtime_error("load_scenario: line " + std::to_string(line_no) + ": " +
+                               why);
+    };
+    if (tag == "duration") {
+      if (!(ls >> s.duration)) fail("bad duration");
+    } else if (tag == "seed") {
+      if (!(ls >> s.seed)) fail("bad seed");
+    } else if (tag == "e") {
+      FaultEvent e;
+      std::string kind;
+      if (!(ls >> e.time >> kind >> e.a >> e.b)) fail("truncated event");
+      if (!parse_fault_kind(kind, e.kind)) fail("unknown fault kind");
+      s.events.push_back(e);
+    } else {
+      fail("unknown directive");
+    }
+  }
+  std::sort(s.events.begin(), s.events.end());
+  c_loaded.add(s.events.size());
+  return s;
+}
+
+}  // namespace flattree::fault

@@ -26,6 +26,8 @@ obs::Counter c_gk_dijkstras("mcf.gk.dijkstra_runs");
 obs::Counter c_gk_stale("mcf.gk.stale_retrees");
 obs::Counter c_gk_warm_exact("mcf.gk.warm_exact_resumes");
 obs::Counter c_gk_warm_dual("mcf.gk.warm_dual_seeds");
+obs::Counter c_gk_unreachable("mcf.gk.unreachable_commodities");
+obs::Counter c_gk_budget_stops("mcf.gk.budget_stops");
 // Cross-filed under inc.*: the incremental-sweep win this counter measures
 // belongs to the inc subsystem's ledger even though the solver records it.
 obs::Counter c_warm_phases_saved("inc.mcf.warm_phases_saved");
@@ -140,6 +142,73 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   if (g.live_link_count() != g.link_count())
     throw std::invalid_argument("max_concurrent_flow: graph has tombstoned links");
 
+  // -- unreachable-commodity pre-pass (allow_unreachable) ------------------
+  // Arcs are symmetric (full-duplex links), so directed reachability
+  // classes are exactly the undirected connected components; a union-find
+  // over the link list labels them without touching the CSR.
+  if (options.allow_unreachable) {
+    std::vector<NodeId> parent(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) parent[v] = v;
+    auto find = [&](NodeId v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+    for (const graph::Link& link : g.links()) parent[find(link.a)] = find(link.b);
+
+    std::vector<std::uint32_t> unreachable;
+    std::vector<Commodity> reachable;
+    std::vector<std::size_t> reach_index;
+    for (std::size_t i = 0; i < commodities.size(); ++i) {
+      if (find(commodities[i].src) != find(commodities[i].dst))
+        unreachable.push_back(static_cast<std::uint32_t>(i));
+      else {
+        reachable.push_back(commodities[i]);
+        reach_index.push_back(i);
+      }
+    }
+    if (!unreachable.empty()) {
+      c_gk_unreachable.add(unreachable.size());
+      double total_demand = 0.0, reachable_demand = 0.0;
+      for (const Commodity& c : commodities) total_demand += c.demand;
+      for (const Commodity& c : reachable) reachable_demand += c.demand;
+
+      McfResult out;
+      out.unreachable = std::move(unreachable);
+      out.served_fraction = reachable_demand / total_demand;
+      out.arc_flow.assign(g.link_count() * 2, 0.0);
+      out.commodity_routed.assign(commodities.size(), 0.0);
+      if (reachable.empty()) {
+        // Every commodity disconnected: the degenerate zero solve. Both
+        // bounds are 0 (nothing routable, and zero is a valid optimum for
+        // the empty sub-instance), not a truncation.
+        out.lambda_upper = 0.0;
+        return out;
+      }
+      // Certified solve of the reachable sub-instance. Warm start / export
+      // are bypassed: their per-commodity arrays are aligned with the full
+      // input, not the filtered one.
+      McfOptions sub = options;
+      sub.allow_unreachable = false;
+      sub.warm_start = nullptr;
+      sub.export_state = nullptr;
+      McfResult r = max_concurrent_flow(g, reachable, sub);
+      out.lambda_lower = r.lambda_lower;
+      out.lambda_upper = r.lambda_upper;
+      out.max_congestion = r.max_congestion;
+      out.phases = r.phases;
+      out.augmentations = r.augmentations;
+      out.dijkstra_runs = r.dijkstra_runs;
+      out.truncated = r.truncated;
+      out.arc_flow = std::move(r.arc_flow);
+      for (std::size_t j = 0; j < reach_index.size(); ++j)
+        out.commodity_routed[reach_index[j]] = r.commodity_routed[j];
+      return out;
+    }
+  }
+
   OBS_SPAN("gk.solve");
   c_gk_solves.inc();
 
@@ -219,7 +288,12 @@ McfResult max_concurrent_flow(const graph::Graph& g,
   std::vector<std::uint32_t> path;  // arcs target<-...<-source (reverse order)
 
   bool done = d_sum >= 1.0;  // true only on a converged exact resume
-  while (!done && d_sum < 1.0 && result.phases < options.max_phases) {
+  // Augmentation budget (McfOptions::max_augmentations). Checked inside
+  // the sequential augmentation loop, so the cut point is deterministic at
+  // any thread count; 0 disables it.
+  const std::uint64_t max_aug = options.max_augmentations;
+  bool budget_hit = false;
+  while (!done && !budget_hit && d_sum < 1.0 && result.phases < options.max_phases) {
     OBS_SPAN("gk.phase");
     // The per-source shortest-path trees of this phase are independent
     // reads of the phase-start length function — the embarrassingly
@@ -234,17 +308,17 @@ McfResult max_concurrent_flow(const graph::Graph& g,
     });
     result.dijkstra_runs += groups.size();
 
-    for (std::size_t gi = 0; gi < groups.size() && !done; ++gi) {
+    for (std::size_t gi = 0; gi < groups.size() && !done && !budget_hit; ++gi) {
       const SourceGroup& grp = groups[gi];
       Tree& tree = trees[gi];
       std::vector<double> dist_at_compute = tree.dist;
 
-      for (std::size_t ti = 0; ti < grp.targets.size() && !done; ++ti) {
+      for (std::size_t ti = 0; ti < grp.targets.size() && !done && !budget_hit; ++ti) {
         auto [target, demand] = grp.targets[ti];
         if (tree.dist[target] == kInf)
           throw std::invalid_argument("max_concurrent_flow: commodity disconnected");
         double need = demand;
-        while (need > 0.0 && !done) {
+        while (need > 0.0 && !done && !budget_hit) {
           // Walk the tree path and re-price it under current lengths.
           path.clear();
           double cur_len = 0.0;
@@ -275,6 +349,10 @@ McfResult max_concurrent_flow(const graph::Graph& g,
           need -= f;
           ++result.augmentations;
           if (d_sum >= 1.0) done = true;
+          if (max_aug != 0 && result.augmentations >= max_aug && !done) {
+            budget_hit = true;
+            c_gk_budget_stops.inc();
+          }
         }
       }
     }

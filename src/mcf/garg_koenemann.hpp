@@ -69,6 +69,22 @@ struct McfOptions {
   /// an LP-duality bound — but the FPTAS gap guarantee between them no
   /// longer applies, so the bracket may be arbitrarily loose.
   std::uint64_t max_phases = 1u << 20;
+  /// Deadline-style budget alongside max_phases, denominated in
+  /// augmentations rather than wall time so truncation points are
+  /// bitwise-reproducible at any thread count (the augmentation loop is
+  /// sequential and deterministic; a wall-clock deadline would not be).
+  /// 0 = unlimited. Hitting the budget mid-phase stops the solve with
+  /// McfResult::truncated = true and the same validity caveats as a
+  /// max_phases cut.
+  std::uint64_t max_augmentations = 0;
+  /// Accept commodities whose endpoints are disconnected in `g` instead of
+  /// throwing: they are excluded from the solve, listed in
+  /// McfResult::unreachable, routed zero flow, and reported through the
+  /// demand-weighted McfResult::served_fraction. The returned bracket then
+  /// certifies the *reachable sub-instance* (check::certify_served). Warm
+  /// start / state export are bypassed when any commodity is actually
+  /// unreachable (the per-commodity state no longer lines up).
+  bool allow_unreachable = false;
   /// Optional warm start (see McfWarmState). Null = cold start. The state
   /// must have length.size() == 2 * link_count (std::invalid_argument
   /// otherwise); exact resume additionally requires converged state and
@@ -106,12 +122,23 @@ struct McfResult {
   /// (0 on cold and dual-seeded solves). Also accumulated into the
   /// inc.mcf.warm_phases_saved counter.
   std::uint64_t warm_phases_saved = 0;
+  /// Demand-weighted fraction of the input that was solvable at all:
+  /// sum(demand over reachable commodities) / sum(demand). 1.0 unless
+  /// McfOptions::allow_unreachable excluded commodities; 0.0 when every
+  /// commodity was disconnected (then the rest of the result is the
+  /// degenerate zero solve: lambda bounds 0, no phases, zero flow).
+  double served_fraction = 1.0;
+  /// Indices (into the input `commodities`) excluded as unreachable,
+  /// ascending. Empty unless allow_unreachable is set. Their
+  /// commodity_routed entries are exactly 0.
+  std::vector<std::uint32_t> unreachable;
 };
 
 /// Solves max concurrent flow for `commodities` over `g`. Throws
-/// std::invalid_argument on empty commodities, unreachable pairs, or any
-/// link with a non-positive/non-finite capacity (zero-capacity links would
-/// otherwise poison every length with inf).
+/// std::invalid_argument on empty commodities, unreachable pairs (unless
+/// McfOptions::allow_unreachable), or any link with a non-positive/
+/// non-finite capacity (zero-capacity links would otherwise poison every
+/// length with inf).
 McfResult max_concurrent_flow(const graph::Graph& g,
                               const std::vector<Commodity>& commodities,
                               const McfOptions& options = {});

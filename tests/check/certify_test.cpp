@@ -153,5 +153,70 @@ TEST(Certify, SkippedUpperBoundBracketsTrivially) {
   EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
+// -- certify_served: degraded-service certificates (ISSUE 5) ---------------
+
+/// Two components {0,1} / {2,3}; commodity 1 is unreachable.
+struct ServedInstance {
+  graph::Graph g{4};
+  std::vector<mcf::Commodity> cs;
+  mcf::McfResult r;
+
+  ServedInstance() {
+    g.add_link(0, 1, 1.0);
+    g.add_link(2, 3, 1.0);
+    cs = {{0, 1, 1.0}, {0, 3, 3.0}};
+    mcf::McfOptions opt;
+    opt.epsilon = 0.05;
+    opt.allow_unreachable = true;
+    r = mcf::max_concurrent_flow(g, cs, opt);
+  }
+};
+
+TEST(CertifyServed, GenuineDegradedResultPasses) {
+  ServedInstance in;
+  ASSERT_EQ(in.r.unreachable, (std::vector<std::uint32_t>{1}));
+  CertifyOptions opts;
+  opts.epsilon = 0.05;
+  Report report = certify_served(in.g, in.cs, in.r, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CertifyServed, EquivalentToCertifyWhenNothingExcluded) {
+  Instance in;  // fully-connected diamond
+  CertifyOptions opts;
+  opts.epsilon = 0.05;
+  Report plain = certify(in.g, in.cs, in.r, opts);
+  Report served = certify_served(in.g, in.cs, in.r, opts);
+  EXPECT_EQ(plain.ok(), served.ok());
+  EXPECT_TRUE(served.ok()) << served.to_string();
+}
+
+TEST(CertifyServed, FlowOnAnExcludedCommodityDetected) {
+  ServedInstance in;
+  in.r.commodity_routed[1] = 0.25;  // routed through a declared cut
+  Report report = certify_served(in.g, in.cs, in.r, {});
+  EXPECT_TRUE(has_code(report, "mcf.unreachable_routed")) << report.to_string();
+}
+
+TEST(CertifyServed, WrongServedFractionDetected) {
+  ServedInstance in;
+  in.r.served_fraction = 1.0;  // claims full service while excluding demand
+  Report report = certify_served(in.g, in.cs, in.r, {});
+  EXPECT_TRUE(has_code(report, "mcf.served_fraction")) << report.to_string();
+}
+
+TEST(CertifyServed, MalformedUnreachableIndicesDetected) {
+  ServedInstance in;
+  mcf::McfResult out_of_range = in.r;
+  out_of_range.unreachable = {7};
+  Report r1 = certify_served(in.g, in.cs, out_of_range, {});
+  EXPECT_TRUE(has_code(r1, "mcf.unreachable_index")) << r1.to_string();
+
+  mcf::McfResult unsorted = in.r;
+  unsorted.unreachable = {1, 1};  // not strictly ascending
+  Report r2 = certify_served(in.g, in.cs, unsorted, {});
+  EXPECT_TRUE(has_code(r2, "mcf.unreachable_index")) << r2.to_string();
+}
+
 }  // namespace
 }  // namespace flattree::check

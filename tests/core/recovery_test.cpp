@@ -214,6 +214,161 @@ TEST(PlanRecovery, UnrecoverableFourPortConverter) {
               plan.unrecoverable.end());
 }
 
+// -- input validation / dedup satellites (ISSUE 5) --------------------------
+
+TEST(FailureSet, NormalizeSortsDedupsAndRangeChecks) {
+  FailureSet f;
+  f.failed_switches = {9, 3, 9, 3, 1};
+  f.normalize(16);
+  EXPECT_EQ(f.failed_switches, (std::vector<NodeId>{1, 3, 9}));
+  EXPECT_TRUE(f.contains(3));   // binary-search path on the sorted set
+  EXPECT_FALSE(f.contains(4));
+
+  FailureSet empty;
+  empty.normalize(16);  // empty sets are fine everywhere
+  EXPECT_TRUE(empty.failed_switches.empty());
+  EXPECT_FALSE(empty.contains(0));
+
+  FailureSet bad;
+  bad.failed_switches = {16};
+  EXPECT_THROW(bad.normalize(16), std::invalid_argument);
+}
+
+TEST(FailureMask, CollapsesDuplicatesAndRejectsOutOfRange) {
+  FailureSet f;
+  f.failed_switches = {5, 2, 5, 2};
+  FailureMask mask(f, 8);
+  EXPECT_EQ(mask.count(), 2u);
+  EXPECT_TRUE(mask.failed(2));
+  EXPECT_TRUE(mask.failed(5));
+  EXPECT_FALSE(mask.failed(3));
+
+  FailureSet bad;
+  bad.failed_switches = {8};
+  EXPECT_THROW(FailureMask(bad, 8), std::invalid_argument);
+}
+
+// Regression: duplicate and unsorted ids used to flow straight into the
+// recovery entry points; they must behave exactly like the deduplicated
+// set, and out-of-range ids must throw instead of being ignored.
+TEST(ApplyFailures, DuplicateIdsBehaveLikeTheDedupedSet) {
+  FlatTreeNetwork net = make_net();
+  topo::Topology t = net.build(Mode::GlobalRandom);
+  NodeId core0 = net.core_switch(0);
+  NodeId agg0 = net.agg_switch(0, 0);
+  FailureSet dup, clean;
+  dup.failed_switches = {core0, agg0, core0, agg0, core0};
+  clean.failed_switches = {agg0, core0};
+
+  DegradedTopology a = apply_failures(t, dup);
+  DegradedTopology b = apply_failures(t, clean);
+  EXPECT_EQ(a.failed_links, b.failed_links);
+  EXPECT_EQ(a.stranded_servers, b.stranded_servers);
+  EXPECT_EQ(a.topo.link_count(), b.topo.link_count());
+
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  EXPECT_EQ(plan_recovery(net, configs, dup).configs,
+            plan_recovery(net, configs, clean).configs);
+  EXPECT_EQ(stranded_server_count(net, configs, dup),
+            stranded_server_count(net, configs, clean));
+
+  FailureSet bad;
+  bad.failed_switches = {net.params().total_switches()};
+  EXPECT_THROW(apply_failures(t, bad), std::invalid_argument);
+  EXPECT_THROW(plan_recovery(net, configs, bad), std::invalid_argument);
+}
+
+TEST(ApplyFailures, EmptySetIsANoOp) {
+  FlatTreeNetwork net = make_net();
+  topo::Topology t = net.build(Mode::GlobalRandom);
+  FailureSet none;
+  DegradedTopology d = apply_failures(t, none);
+  EXPECT_EQ(d.failed_links, 0u);
+  EXPECT_TRUE(d.stranded_servers.empty());
+  EXPECT_EQ(d.topo.link_count(), t.link_count());
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  EXPECT_EQ(plan_recovery(net, configs, none).configs, configs);
+}
+
+TEST(PlanRecovery, AllCoresFailedFlipsEverythingStandalone) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  FailureSet f;
+  topo::Topology t = net.materialize(configs);
+  for (NodeId v = 0; v < t.switch_count(); ++v)
+    if (t.info(v).kind == topo::SwitchKind::Core) f.failed_switches.push_back(v);
+  ASSERT_FALSE(f.failed_switches.empty());
+
+  RecoveryPlan plan = plan_recovery(net, configs, f);
+  EXPECT_EQ(validate_assignment(net.converters(), plan.configs), "");
+  EXPECT_TRUE(plan.unrecoverable.empty());  // agg/edge homes all alive
+  EXPECT_EQ(stranded_server_count(net, plan.configs, f), 0u);
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i) {
+    EXPECT_NE(plan.configs[i], ConverterConfig::Side);
+    EXPECT_NE(plan.configs[i], ConverterConfig::Cross);
+  }
+}
+
+// -- plan_recovery edge-case satellites (ISSUE 5) ---------------------------
+
+// Every standalone home of one side/cross member is dead while its
+// partner's homes are alive: the member is unrecoverable, the partner must
+// still be rescued to a standalone home of its own.
+TEST(PlanRecovery, PairMemberWithAllHomesDeadLeavesPartnerRecovered) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  std::uint32_t idx = ~0u;
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (configs[i] == ConverterConfig::Side || configs[i] == ConverterConfig::Cross) {
+      idx = i;
+      break;
+    }
+  ASSERT_NE(idx, ~0u);
+  const Converter& c = net.converters()[idx];
+  const Converter& peer = net.converters()[c.peer];
+  // Kill both of the member's standalone homes and both cores (so the pair
+  // cannot stay jointly configured either). The partner's own standalone
+  // homes sit in the other pod and stay alive.
+  FailureSet f;
+  f.failed_switches = {c.core, c.agg, c.edge, peer.core};
+  ASSERT_NE(peer.agg, c.agg);
+  ASSERT_NE(peer.edge, c.edge);
+
+  RecoveryPlan plan = plan_recovery(net, configs, f);
+  EXPECT_EQ(validate_assignment(net.converters(), plan.configs), "");
+  EXPECT_TRUE(std::find(plan.unrecoverable.begin(), plan.unrecoverable.end(), idx) !=
+              plan.unrecoverable.end());
+  EXPECT_TRUE(std::find(plan.unrecoverable.begin(), plan.unrecoverable.end(), c.peer) ==
+              plan.unrecoverable.end());
+  EXPECT_EQ(plan.configs[c.peer], ConverterConfig::Local);
+  topo::Topology t = net.materialize(plan.configs);
+  EXPECT_EQ(t.host(peer.server), peer.agg);
+}
+
+// Planning on an already-recovered configuration is idempotent: the same
+// failures produce no further churn and the same unrecoverable verdicts.
+TEST(PlanRecovery, IdempotentOnARecoveredConfiguration) {
+  FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  FailureSet f;
+  topo::Topology t = net.materialize(configs);
+  auto weights = t.servers_per_switch();
+  for (NodeId v = 0; v < t.switch_count(); ++v)
+    if (t.info(v).kind == topo::SwitchKind::Core && weights[v] > 0)
+      f.failed_switches.push_back(v);
+  // Make one converter genuinely unrecoverable too.
+  const Converter& c0 = net.converters()[0];
+  f.failed_switches.push_back(c0.agg);
+  f.failed_switches.push_back(c0.edge);
+
+  RecoveryPlan first = plan_recovery(net, configs, f);
+  RecoveryPlan second = plan_recovery(net, first.configs, f);
+  EXPECT_EQ(second.configs, first.configs);
+  EXPECT_EQ(second.unrecoverable, first.unrecoverable);
+  RecoveryPlan third = plan_recovery(net, second.configs, f);
+  EXPECT_EQ(third.configs, first.configs);
+}
+
 TEST(Recovery, DegradedThroughputImproves) {
   // Recovery must not leave the degraded network worse-connected: all
   // servers reachable again means APL computable where it was not.

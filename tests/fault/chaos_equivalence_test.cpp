@@ -1,0 +1,94 @@
+// End-to-end determinism contract of bench_chaos: the availability
+// timeline is a pure function of the fault trace, so stdout must be
+// byte-identical across --threads 1 / 8, with and without --incremental,
+// and across a --save-scenario -> --load-scenario round trip of the same
+// trace. --selfcheck must exit 0 (zero violations after every injected
+// event, including mid-reconfiguration ones). FT_BENCH_DIR is injected by
+// CMake; the test skips cleanly when the binary is not built.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace flattree {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+}
+
+int run(const std::string& bench, const std::string& args, const std::string& out) {
+  std::string cmd = bench + " " + args + " > " + out + " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+const char* kBase = "--k 4 --duration 25 --seed 11 --report-every 3";
+
+TEST(ChaosEquivalence, TimelineIsByteIdenticalAcrossThreads) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_chaos";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+  std::string tmp = testing::TempDir();
+
+  std::string t1 = tmp + "chaos_t1.txt", t8 = tmp + "chaos_t8.txt";
+  ASSERT_EQ(run(bench, std::string(kBase) + " --threads 1", t1), 0);
+  ASSERT_EQ(run(bench, std::string(kBase) + " --threads 8", t8), 0);
+  std::string ref = slurp(t1);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(ref, slurp(t8));
+
+  std::string inc = tmp + "chaos_inc.txt";
+  ASSERT_EQ(run(bench, std::string(kBase) + " --threads 8 --incremental", inc), 0);
+  EXPECT_EQ(ref, slurp(inc));
+}
+
+TEST(ChaosEquivalence, SaveReplayReproducesTheTimeline) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_chaos";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+  std::string tmp = testing::TempDir();
+
+  std::string trace = tmp + "chaos_trace.txt";
+  std::string gen = tmp + "chaos_gen.txt", replay = tmp + "chaos_replay.txt";
+  ASSERT_EQ(run(bench, std::string(kBase) + " --save-scenario " + trace, gen), 0);
+  ASSERT_EQ(run(bench, std::string(kBase) + " --load-scenario " + trace, replay), 0);
+  std::string ref = slurp(gen);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(ref, slurp(replay));
+
+  // Save -> load -> save is a fixpoint of the v1 text format.
+  std::string trace2 = tmp + "chaos_trace2.txt";
+  std::string resave = tmp + "chaos_resave.txt";
+  ASSERT_EQ(run(bench,
+                std::string(kBase) + " --load-scenario " + trace + " --save-scenario " +
+                    trace2,
+                resave),
+            0);
+  EXPECT_EQ(slurp(trace), slurp(trace2));
+}
+
+TEST(ChaosEquivalence, SelfcheckPassesAndDoesNotPerturbOutput) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_chaos";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+  std::string tmp = testing::TempDir();
+
+  std::string plain = tmp + "chaos_plain.txt", checked = tmp + "chaos_checked.txt";
+  ASSERT_EQ(run(bench, kBase, plain), 0);
+  // Exit 0 == every event boundary validated with zero violations.
+  ASSERT_EQ(run(bench, std::string(kBase) + " --selfcheck", checked), 0);
+  EXPECT_EQ(slurp(plain), slurp(checked));
+}
+
+}  // namespace
+}  // namespace flattree

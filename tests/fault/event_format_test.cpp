@@ -1,0 +1,52 @@
+#include "fault/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace flattree::fault {
+namespace {
+
+TEST(FaultEvent, KindTokensRoundTrip) {
+  for (int k = 0; k < 6; ++k) {
+    FaultKind kind = static_cast<FaultKind>(k);
+    FaultKind parsed;
+    ASSERT_TRUE(parse_fault_kind(to_string(kind), parsed)) << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind scratch;
+  EXPECT_FALSE(parse_fault_kind("link_sideways", scratch));
+  EXPECT_FALSE(parse_fault_kind("", scratch));
+}
+
+TEST(FaultEvent, OrderingIsTotal) {
+  // (time, kind, a, b) — any two distinct events are strictly ordered, so
+  // coinciding timestamps still replay identically everywhere.
+  std::vector<FaultEvent> events;
+  for (double t : {1.0, 2.0})
+    for (int k : {0, 2})
+      for (std::uint32_t a : {0u, 3u}) {
+        FaultEvent e;
+        e.time = t;
+        e.kind = static_cast<FaultKind>(k);
+        e.a = a;
+        e.b = a + 1;
+        events.push_back(e);
+      }
+  std::sort(events.begin(), events.end());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_TRUE(events[i - 1] < events[i]);
+    EXPECT_FALSE(events[i] < events[i - 1]);
+    EXPECT_FALSE(events[i] == events[i - 1]);
+  }
+}
+
+TEST(FaultEvent, PairKeyNormalizesOrientation) {
+  EXPECT_EQ(pair_key(2, 9), pair_key(9, 2));
+  EXPECT_NE(pair_key(2, 9), pair_key(2, 8));
+  EXPECT_EQ(pair_key(7, 7), pair_key(7, 7));
+}
+
+}  // namespace
+}  // namespace flattree::fault

@@ -1,0 +1,159 @@
+#include "fault/fault_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/converter.hpp"
+#include "fault/resilient_controller.hpp"
+#include "obs/metrics.hpp"
+
+namespace flattree::fault {
+namespace {
+
+using core::ConverterConfig;
+using core::Mode;
+
+core::FlatTreeNetwork make_net(std::uint32_t k = 4) {
+  core::FlatTreeConfig cfg;
+  cfg.k = k;
+  return core::FlatTreeNetwork(cfg);
+}
+
+FaultEvent ev(double t, FaultKind kind, std::uint32_t a, std::uint32_t b = 0) {
+  FaultEvent e;
+  e.time = t;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+bool has_code(const check::Report& r, const std::string& code) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [&](const check::Violation& v) { return v.code == code; });
+}
+
+TEST(CheckDegraded, CleanPlantPasses) {
+  core::FlatTreeNetwork net = make_net();
+  FaultState state(net.params().total_switches(), net.converters().size());
+  check::Report r = check_degraded(net, net.assign_configs(Mode::Clos), state);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+// Negative control for fault.assignment: a half-flipped side/cross pair is
+// exactly the state micro-transaction atomicity exists to prevent.
+TEST(CheckDegraded, HalfFlippedPairFlagged) {
+  core::FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::GlobalRandom);
+  std::uint32_t idx = ~0u;
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (configs[i] == ConverterConfig::Side) {
+      idx = i;
+      break;
+    }
+  ASSERT_NE(idx, ~0u);
+  configs[idx] = ConverterConfig::Local;  // peer still Side
+  FaultState state(net.params().total_switches(), net.converters().size());
+  check::Report r = check_degraded(net, configs, state);
+  EXPECT_TRUE(has_code(r, "fault.assignment")) << r.to_string();
+}
+
+// Negative control for fault.avoidable_home: a server homed on a down
+// switch while a usable standalone alternative exists.
+TEST(CheckDegraded, AvoidableDeadHomeFlagged) {
+  core::FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::Clos);  // all homes on edges
+  FaultState state(net.params().total_switches(), net.converters().size());
+  NodeId edge0 = net.edge_switch(0, 0);
+  state.apply(ev(1.0, FaultKind::SwitchDown, edge0));
+
+  check::Report r = check_degraded(net, configs, state);
+  EXPECT_TRUE(has_code(r, "fault.avoidable_home")) << r.to_string();
+
+  // The same state is acceptable mid-conversion: the flag is an idle-state
+  // guarantee and can be switched off.
+  DegradedCheckOptions opts;
+  opts.flag_avoidable_homes = false;
+  check::Report relaxed = check_degraded(net, configs, state, opts);
+  EXPECT_FALSE(has_code(relaxed, "fault.avoidable_home")) << relaxed.to_string();
+
+  // A stuck converter exempts its home: nothing could have been done.
+  for (std::uint32_t i = 0; i < net.converters().size(); ++i)
+    if (net.converters()[i].edge == edge0)
+      state.apply(ev(2.0, FaultKind::ConverterStuck, i));
+  check::Report stuck = check_degraded(net, configs, state);
+  EXPECT_FALSE(has_code(stuck, "fault.avoidable_home")) << stuck.to_string();
+}
+
+// The genuinely-unrecoverable exemption: when no standalone home is usable
+// either, a dead home is not "avoidable".
+TEST(CheckDegraded, UnrecoverableHomeNotFlagged) {
+  core::FlatTreeNetwork net = make_net();
+  auto configs = net.assign_configs(Mode::Clos);
+  FaultState state(net.params().total_switches(), net.converters().size());
+  // Down the whole pod 0 (every edge and agg): pod-0 converters have no
+  // usable standalone home at all.
+  double t = 1.0;
+  const topo::Topology clos = net.build(Mode::Clos);
+  for (NodeId v = 0; v < net.params().total_switches(); ++v)
+    if (clos.info(v).kind != topo::SwitchKind::Core && clos.info(v).pod == 0)
+      state.apply(ev(t++, FaultKind::SwitchDown, v));
+  check::Report r = check_degraded(net, configs, state);
+  EXPECT_FALSE(has_code(r, "fault.avoidable_home")) << r.to_string();
+}
+
+TEST(CheckConserved, HoldsMidTraceAndAfterUnwind) {
+  FaultState s(8, 2);
+  EXPECT_TRUE(check_conserved(s).ok());
+  s.apply(ev(1.0, FaultKind::SwitchDown, 2));
+  s.apply(ev(1.5, FaultKind::LinkDown, 0, 1));
+  s.apply(ev(2.0, FaultKind::ConverterStuck, 1));
+  EXPECT_TRUE(check_conserved(s).ok());  // down > up, matched by active counts
+  s.apply(ev(3.0, FaultKind::SwitchUp, 2));
+  s.apply(ev(3.5, FaultKind::LinkUp, 0, 1));
+  s.apply(ev(4.0, FaultKind::ConverterFreed, 1));
+  EXPECT_TRUE(s.clean());
+  EXPECT_TRUE(check_conserved(s).ok());
+}
+
+// The obs counters mirror the tallies: fault.apply.* / fault.unapply.*
+// pairs are equal exactly when the plant is clean.
+TEST(CheckConserved, ObsCountersMirrorTallies) {
+  bool before = obs::enabled();
+  obs::set_enabled(true);
+  obs::reset_metrics();
+  FaultState s(8, 2);
+  s.apply(ev(1.0, FaultKind::SwitchDown, 3));
+  s.apply(ev(2.0, FaultKind::LinkDown, 4, 5));
+  s.apply(ev(3.0, FaultKind::LinkUp, 4, 5));
+  s.apply(ev(4.0, FaultKind::SwitchUp, 3));
+  obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  obs::set_enabled(before);
+  auto value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  EXPECT_EQ(value("fault.apply.switch_down"), 1u);
+  EXPECT_EQ(value("fault.unapply.switch_up"), 1u);
+  EXPECT_EQ(value("fault.apply.link_down"), value("fault.unapply.link_up"));
+  EXPECT_TRUE(s.clean());
+}
+
+// ResilientController::self_check composes the battery: a controller mid
+// conversion relaxes the avoidable-home flag, an idle one enforces it.
+TEST(CheckDegraded, SelfCheckTracksConversionState) {
+  core::FlatTreeConfig cfg;
+  cfg.k = 4;
+  ResilientController ctl(cfg);
+  EXPECT_TRUE(ctl.self_check().ok());
+  ctl.begin_conversion(Mode::GlobalRandom);
+  EXPECT_TRUE(ctl.conversion_in_flight());
+  EXPECT_TRUE(ctl.self_check().ok());
+  ctl.run_to_completion();
+  EXPECT_TRUE(ctl.self_check().ok());
+}
+
+}  // namespace
+}  // namespace flattree::fault

@@ -1,0 +1,162 @@
+#include "fault/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/flat_tree.hpp"
+#include "fault/state.hpp"
+
+namespace flattree::fault {
+namespace {
+
+core::FlatTreeNetwork make_net(std::uint32_t k = 4) {
+  core::FlatTreeConfig cfg;
+  cfg.k = k;
+  return core::FlatTreeNetwork(cfg);
+}
+
+ScenarioParams busy_params(std::uint64_t seed = 7) {
+  ScenarioParams p;
+  p.duration = 50.0;
+  p.seed = seed;
+  p.switches = {60.0, 3.0};
+  p.link = {80.0, 2.0};
+  p.converter = {90.0, 4.0};
+  p.pod_power = {200.0, 3.0};
+  p.flap_probability = 0.3;
+  return p;
+}
+
+TEST(Scenario, GenerationIsDeterministicAndSorted) {
+  core::FlatTreeNetwork net = make_net();
+  topo::Topology clos = net.build(core::Mode::Clos);
+  ScenarioParams p = busy_params();
+  Scenario a = generate_scenario(clos, p, net.converters().size(), net.params().pods());
+  Scenario b = generate_scenario(clos, p, net.converters().size(), net.params().pods());
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_TRUE(std::is_sorted(a.events.begin(), a.events.end()));
+
+  Scenario c = generate_scenario(clos, busy_params(8), net.converters().size(),
+                                 net.params().pods());
+  EXPECT_NE(a.events, c.events);  // the seed actually steers the draw
+}
+
+// Class isolation: re-parameterizing one fault class must not perturb the
+// subsequence another class draws (each entity owns a substream).
+TEST(Scenario, FaultClassesDrawIndependently) {
+  core::FlatTreeNetwork net = make_net();
+  topo::Topology clos = net.build(core::Mode::Clos);
+  ScenarioParams with = busy_params();
+  ScenarioParams without = with;
+  without.converter.mtbf = 0.0;  // disable one class entirely
+  without.pod_power.mtbf = 0.0;
+  Scenario a = generate_scenario(clos, with, net.converters().size(), net.params().pods());
+  Scenario b =
+      generate_scenario(clos, without, net.converters().size(), net.params().pods());
+
+  auto only = [](const Scenario& s, auto pred) {
+    std::vector<FaultEvent> out;
+    for (const FaultEvent& e : s.events)
+      if (pred(e.kind)) out.push_back(e);
+    return out;
+  };
+  auto is_link = [](FaultKind k) {
+    return k == FaultKind::LinkDown || k == FaultKind::LinkUp;
+  };
+  EXPECT_EQ(only(a, is_link), only(b, is_link));
+  EXPECT_TRUE(only(b, [](FaultKind k) {
+                return k == FaultKind::ConverterStuck || k == FaultKind::ConverterFreed;
+              }).empty());
+}
+
+// Every failure carries its repair: a full playback returns the plant to
+// all-up with conserved tallies.
+TEST(Scenario, FullPlaybackUnwindsExactly) {
+  core::FlatTreeNetwork net = make_net();
+  topo::Topology clos = net.build(core::Mode::Clos);
+  Scenario s = generate_scenario(clos, busy_params(), net.converters().size(),
+                                 net.params().pods());
+  FaultState state(net.params().total_switches(), net.converters().size());
+  for (const FaultEvent& e : s.events) state.apply(e);
+  EXPECT_TRUE(state.clean());
+  const auto& tally = state.tally();
+  EXPECT_EQ(tally[static_cast<std::size_t>(FaultKind::LinkDown)],
+            tally[static_cast<std::size_t>(FaultKind::LinkUp)]);
+  EXPECT_EQ(tally[static_cast<std::size_t>(FaultKind::SwitchDown)],
+            tally[static_cast<std::size_t>(FaultKind::SwitchUp)]);
+  EXPECT_EQ(tally[static_cast<std::size_t>(FaultKind::ConverterStuck)],
+            tally[static_cast<std::size_t>(FaultKind::ConverterFreed)]);
+}
+
+TEST(Scenario, FlappingAlternatesAndEndsUp) {
+  core::FlatTreeNetwork net = make_net();
+  topo::Topology clos = net.build(core::Mode::Clos);
+  ScenarioParams p;
+  p.duration = 60.0;
+  p.seed = 11;
+  p.link = {40.0, 3.0};
+  p.flap_probability = 1.0;  // every outage flaps
+  Scenario s = generate_scenario(clos, p, 0, 0);
+  ASSERT_FALSE(s.events.empty());
+  // Per pair the trace must strictly alternate down/up starting down.
+  std::map<std::uint64_t, std::vector<FaultKind>> per_pair;
+  for (const FaultEvent& e : s.events) per_pair[pair_key(e.a, e.b)].push_back(e.kind);
+  bool saw_burst = false;
+  for (const auto& [key, kinds] : per_pair) {
+    ASSERT_EQ(kinds.size() % 2, 0u);
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+      EXPECT_EQ(kinds[i], i % 2 == 0 ? FaultKind::LinkDown : FaultKind::LinkUp);
+    if (kinds.size() >= 4) saw_burst = true;  // >1 cycle within one outage
+  }
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(Scenario, SaveLoadRoundTripsBitwise) {
+  core::FlatTreeNetwork net = make_net();
+  topo::Topology clos = net.build(core::Mode::Clos);
+  Scenario s = generate_scenario(clos, busy_params(), net.converters().size(),
+                                 net.params().pods());
+  std::ostringstream out;
+  save_scenario(s, out);
+  std::istringstream in(out.str());
+  Scenario r = load_scenario(in);
+  EXPECT_EQ(r.duration, s.duration);
+  EXPECT_EQ(r.seed, s.seed);
+  ASSERT_EQ(r.events.size(), s.events.size());
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(r.events[i], s.events[i]) << "event " << i;
+    EXPECT_EQ(r.events[i].time, s.events[i].time) << "event " << i;  // exact bits
+  }
+
+  // Save -> load -> save is a fixpoint (the replay-equivalence contract).
+  std::ostringstream again;
+  save_scenario(r, again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(Scenario, LoadRejectsMalformedInput) {
+  std::istringstream bad_header("# not-a-scenario\n");
+  EXPECT_THROW(load_scenario(bad_header), std::runtime_error);
+  std::istringstream bad_kind(
+      "# flattree-fault-scenario v1\nduration 10\nseed 1\ne 1.0 link_sideways 0 1\n");
+  EXPECT_THROW(load_scenario(bad_kind), std::runtime_error);
+  std::istringstream truncated("# flattree-fault-scenario v1\nduration 10\nseed 1\ne 1.0\n");
+  EXPECT_THROW(load_scenario(truncated), std::runtime_error);
+}
+
+TEST(Scenario, LoadResortsHandEditedTraces) {
+  std::istringstream in(
+      "# flattree-fault-scenario v1\nduration 10\nseed 1\n"
+      "e 5.0 switch_up 2 0\ne 1.0 switch_down 2 0\n");
+  Scenario s = load_scenario(in);
+  ASSERT_EQ(s.events.size(), 2u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::SwitchDown);
+  EXPECT_EQ(s.events[1].kind, FaultKind::SwitchUp);
+}
+
+}  // namespace
+}  // namespace flattree::fault
