@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/controller.hpp"
 #include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
@@ -235,26 +236,31 @@ int run_exec_sweep(const std::string& path) {
 
 int main(int argc, char** argv) {
   // Peel off --exec-json / --metrics-json / --trace ([=| ]<path> forms)
-  // before google-benchmark sees the args.
+  // before google-benchmark sees the args (it owns the remaining argv).
   std::string exec_json, metrics_json, trace_path;
-  auto peel = [&](const char* flag, std::string* out, int& i) {
-    std::size_t len = std::strlen(flag);
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      *out = argv[i] + len + 1;
-      return true;
-    }
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      *out = argv[++i];
-      return true;
-    }
-    return false;
-  };
-  std::vector<char*> rest;
-  for (int i = 0; i < argc; ++i) {
-    if (peel("--exec-json", &exec_json, i) ||
-        peel("--metrics-json", &metrics_json, i) || peel("--trace", &trace_path, i))
-      continue;
-    rest.push_back(argv[i]);
+  bench::ArgPeeler peeler;
+  peeler.add_string("--exec-json", &exec_json,
+                    "write the exec scaling sweep as JSON and exit");
+  peeler.add_string("--metrics-json", &metrics_json,
+                    "write a JSON run manifest (argv, seed, metrics)");
+  peeler.add_string("--trace", &trace_path, "write a JSON-lines span trace");
+  std::string peel_error;
+  if (!peeler.peel(argc, argv, &peel_error)) {
+    std::fprintf(stderr, "bench_micro: %s\nflags handled by bench_micro:\n%s",
+                 peel_error.c_str(), peeler.usage().c_str());
+    return 1;
+  }
+  // Anything left that isn't google-benchmark's (--benchmark_*) is an
+  // unknown flag: fail with the full listing instead of silently ignoring.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) continue;
+    if (std::strcmp(argv[i], "--help") == 0) continue;  // google-benchmark prints usage
+    std::fprintf(stderr,
+                 "bench_micro: unknown flag '%s'\nflags handled by bench_micro:\n%s"
+                 "plus google-benchmark's --benchmark_* flags "
+                 "(--benchmark_filter=..., --benchmark_list_tests, ...)\n",
+                 argv[i], peeler.usage().c_str());
+    return 1;
   }
   obs::RunSession obs_run(argc, argv, metrics_json, trace_path);
   if (obs_run.active()) {
@@ -262,9 +268,8 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) obs::start_tracing();
   }
   if (!exec_json.empty()) return run_exec_sweep(exec_json);
-  int rest_argc = static_cast<int>(rest.size());
-  benchmark::Initialize(&rest_argc, rest.data());
-  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

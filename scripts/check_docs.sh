@@ -5,9 +5,9 @@
 #      checked .md files exists on disk (external http(s) links and pure
 #      anchors are skipped).
 #   2. Header doc coverage — every public header under src/graph/,
-#      src/mcf/ and src/fault/ has a file-level comment, and every
-#      namespace-scope declaration (struct/class/enum/free function) is
-#      immediately preceded by a doc comment.
+#      src/mcf/, src/fault/ and src/svc/ has a file-level comment, and
+#      every namespace-scope declaration (struct/class/enum/free
+#      function) is immediately preceded by a doc comment.
 #   3. README bench catalog — the bench catalog table in README.md lists
 #      every bench binary that exists under bench/.
 #
@@ -57,7 +57,7 @@ for md in MD_FILES:
            not os.path.exists(os.path.join(root, rel)):
             fail(f"{md}: broken link -> {target}")
 
-# -- 2. header doc coverage (src/graph + src/mcf + src/fault) ---------------
+# -- 2. header doc coverage (src/graph + src/mcf + src/fault + src/svc) -----
 
 DECL_RE = re.compile(
     r"^(struct|class|enum)\s+\w+"          # type declarations
@@ -76,7 +76,7 @@ def covered(lines, i):
     prev = lines[j].strip()
     return prev.startswith(("//", "///", "/*", "*", "*/")) or prev.endswith("*/")
 
-HEADER_DIRS = ["src/graph", "src/mcf", "src/fault"]
+HEADER_DIRS = ["src/graph", "src/mcf", "src/fault", "src/svc"]
 for d in HEADER_DIRS:
     for name in sorted(os.listdir(os.path.join(root, d))):
         if not name.endswith(".hpp"):

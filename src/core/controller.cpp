@@ -19,8 +19,10 @@ obs::Counter c_servers_moved("core.controller.servers_moved");
 
 }  // namespace
 
-Controller::Controller(FlatTreeConfig config)
-    : net_(config),
+Controller::Controller(FlatTreeConfig config) : Controller(FlatTreeNetwork(config)) {}
+
+Controller::Controller(FlatTreeNetwork net)
+    : net_(std::move(net)),
       configs_(net_.assign_configs(Mode::Clos)),
       pod_modes_(net_.params().pods(), Mode::Clos) {}
 

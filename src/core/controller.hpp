@@ -37,6 +37,9 @@ class Controller {
  public:
   /// Boots the network in Clos mode (all converters `default`).
   explicit Controller(FlatTreeConfig config);
+  /// Takes ownership of an already-built plant (generic Clos layouts,
+  /// expansion results) and boots it in Clos mode.
+  explicit Controller(FlatTreeNetwork net);
 
   const FlatTreeNetwork& network() const { return net_; }
   const std::vector<ConverterConfig>& current_configs() const { return configs_; }

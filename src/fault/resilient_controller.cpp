@@ -39,7 +39,10 @@ NodeId home_of(const Converter& c, ConverterConfig cfg) {
 
 ResilientController::ResilientController(core::FlatTreeConfig config,
                                          ResilientOptions opt)
-    : core::Controller(std::move(config)),
+    : ResilientController(core::FlatTreeNetwork(std::move(config)), opt) {}
+
+ResilientController::ResilientController(core::FlatTreeNetwork net, ResilientOptions opt)
+    : core::Controller(std::move(net)),
       state_(net_.params().total_switches(), net_.converters().size()),
       opt_(opt) {}
 

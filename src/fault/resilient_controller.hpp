@@ -70,6 +70,9 @@ struct EventOutcome {
 class ResilientController : public core::Controller {
  public:
   explicit ResilientController(core::FlatTreeConfig config, ResilientOptions opt = {});
+  /// Adopts an already-built plant (generic Clos layouts, core::expand
+  /// results) with a fresh, all-up fault state.
+  explicit ResilientController(core::FlatTreeNetwork net, ResilientOptions opt = {});
 
   const FaultState& fault_state() const { return state_; }
   const ResilientOptions& options() const { return opt_; }

@@ -84,7 +84,9 @@ mcf::McfResult McfWarmCache::solve(const graph::Graph& g,
   if (has_state_ && state_.converged && g.node_count() == prev_.nodes &&
       std::bit_cast<std::uint64_t>(opt.epsilon) ==
           std::bit_cast<std::uint64_t>(prev_.epsilon) &&
-      opt.max_phases == prev_.max_phases) {
+      opt.max_phases == prev_.max_phases &&
+      opt.max_augmentations == prev_.max_augmentations &&
+      opt.allow_unreachable == prev_.allow_unreachable) {
     if (same_links(g.links(), prev_.links) &&
         same_commodities(commodities, prev_.commodities)) {
       // Identical instance: full exact resume.
@@ -151,6 +153,8 @@ mcf::McfResult McfWarmCache::solve(const graph::Graph& g,
   prev_.commodities = commodities;
   prev_.epsilon = opt.epsilon;
   prev_.max_phases = opt.max_phases;
+  prev_.max_augmentations = opt.max_augmentations;
+  prev_.allow_unreachable = opt.allow_unreachable;
   state_ = std::move(exported);
   has_state_ = true;
   return result;

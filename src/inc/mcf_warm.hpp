@@ -71,6 +71,11 @@ class McfWarmCache {
     std::vector<mcf::Commodity> commodities;
     double epsilon = 0.0;
     std::uint64_t max_phases = 0;
+    /// Deadline budget (src/svc SLO layer). Part of the instance key: a
+    /// resume across different budgets would return the old budget's
+    /// trajectory, not what a cold solve under the new budget produces.
+    std::uint64_t max_augmentations = 0;
+    bool allow_unreachable = false;
   };
 
   McfWarmCacheOptions opt_;

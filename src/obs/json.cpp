@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace flattree::obs {
 
@@ -285,6 +287,420 @@ bool json_valid(const std::string& text) {
   if (!parser.value()) return false;
   parser.skip_ws();
   return parser.p == parser.end;
+}
+
+// -- JsonValue ---------------------------------------------------------------
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::Bool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue out;
+  out.kind_ = Kind::Int;
+  out.int_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_double(double v) {
+  JsonValue out;
+  out.kind_ = Kind::Double;
+  out.double_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::String;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue out;
+  out.kind_ = Kind::Array;
+  return out;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue out;
+  out.kind_ = Kind::Object;
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want) {
+  throw std::logic_error(std::string("JsonValue: not a ") + want);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::Int) kind_error("int");
+  return int_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ == Kind::Double) return double_;
+  kind_error("number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_error("string");
+  return string_;
+}
+
+std::vector<JsonValue>& JsonValue::array() {
+  if (kind_ != Kind::Array) kind_error("array");
+  return array_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  if (kind_ != Kind::Array) kind_error("array");
+  return array_;
+}
+
+std::vector<std::pair<std::string, JsonValue>>& JsonValue::object() {
+  if (kind_ != Kind::Object) kind_error("object");
+  return object_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::object() const {
+  if (kind_ != Kind::Object) kind_error("object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void JsonValue::write(JsonWriter& w) const {
+  switch (kind_) {
+    case Kind::Null: w.null_value(); break;
+    case Kind::Bool: w.bool_value(bool_); break;
+    case Kind::Int: w.int_value(int_); break;
+    case Kind::Double: w.double_value(double_); break;
+    case Kind::String: w.string_value(string_); break;
+    case Kind::Array:
+      w.begin_array();
+      for (const JsonValue& v : array_) v.write(w);
+      w.end_array();
+      break;
+    case Kind::Object:
+      w.begin_object();
+      for (const auto& [k, v] : object_) {
+        w.key(k);
+        v.write(w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string JsonValue::to_json() const {
+  JsonWriter w;
+  write(w);
+  return w.str();
+}
+
+// -- materializing parser ----------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser with position tracking. Unlike the validator
+/// above it materializes values and reports *where* and *why* parsing
+/// stopped, with stable dotted codes (tests pin them).
+struct TreeParser {
+  const char* begin;
+  const char* p;
+  const char* end;
+  int depth = 0;
+  JsonError err;
+  bool failed = false;
+
+  bool fail(const char* code, const std::string& message, const char* at) {
+    if (failed) return false;  // keep the first (deepest) failure
+    failed = true;
+    err.code = code;
+    err.message = message;
+    err.line = 1;
+    err.column = 1;
+    for (const char* q = begin; q < at; ++q) {
+      if (*q == '\n') {
+        ++err.line;
+        err.column = 1;
+      } else {
+        ++err.column;
+      }
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool parse_string(std::string& out) {
+    const char* start = p;
+    if (p >= end || *p != '"')
+      return fail("json.expected_string", "expected '\"'", p);
+    ++p;
+    out.clear();
+    while (p < end) {
+      unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        const char* esc = p;
+        ++p;
+        if (p >= end) return fail("json.bad_escape", "truncated escape", esc);
+        char e = *p;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p;
+              if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
+                return fail("json.bad_escape", "bad \\u escape", esc);
+              char h = *p;
+              cp = cp * 16 +
+                   static_cast<std::uint32_t>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs pass through
+            // as two separate 3-byte sequences — exactly what json_escape
+            // produced them from, so round trips are byte-stable).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("json.bad_escape", std::string("invalid escape '\\") + e + "'",
+                        esc);
+        }
+        ++p;
+      } else if (c < 0x20) {
+        return fail("json.control_in_string", "raw control character in string", p);
+      } else {
+        out += static_cast<char>(c);
+        ++p;
+      }
+    }
+    return fail("json.unterminated_string", "unterminated string", start);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = p;
+    bool integral = true;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+      return fail("json.bad_number", "malformed number", start);
+    if (*p == '0') {
+      ++p;
+      if (p < end && std::isdigit(static_cast<unsigned char>(*p)))
+        return fail("json.bad_number", "leading zero", start);
+    } else {
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && *p == '.') {
+      integral = false;
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+        return fail("json.bad_number", "missing fraction digits", start);
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      integral = false;
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+        return fail("json.bad_number", "missing exponent digits", start);
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    std::string token(start, p);
+    if (integral) {
+      // "-0" stays a Double so canonical re-emission preserves the sign.
+      errno = 0;
+      char* tail = nullptr;
+      long long v = std::strtoll(token.c_str(), &tail, 10);
+      if (errno == 0 && tail != nullptr && *tail == '\0' && !(v == 0 && token[0] == '-')) {
+        out = JsonValue::make_int(v);
+        return true;
+      }
+    }
+    errno = 0;
+    double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d))
+      return fail("json.number_nonfinite",
+                  "number overflows to a non-finite value: " + token, start);
+    out = JsonValue::make_double(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth > 256) {
+      --depth;
+      return fail("json.depth", "nesting deeper than 256", p);
+    }
+    skip_ws();
+    bool ok = false;
+    if (p >= end) {
+      ok = fail("json.expected_value", "unexpected end of input", p);
+    } else if (*p == '{') {
+      const char* open = p;
+      ++p;
+      out = JsonValue::make_object();
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) break;
+          for (const auto& [k, v] : out.object())
+            if (k == key) {
+              (void)v;
+              fail("json.duplicate_key", "duplicate object key \"" + key + "\"", p);
+              break;
+            }
+          if (failed) break;
+          skip_ws();
+          if (p >= end || *p != ':') {
+            fail("json.expected_colon", "expected ':' after object key", p);
+            break;
+          }
+          ++p;
+          JsonValue member;
+          if (!parse_value(member)) break;
+          out.object().emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            ok = true;
+          } else {
+            fail("json.expected_comma_or_close", "expected ',' or '}'",
+                 p < end ? p : open);
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      const char* open = p;
+      ++p;
+      out = JsonValue::make_array();
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          JsonValue element;
+          if (!parse_value(element)) break;
+          out.array().push_back(std::move(element));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            ok = true;
+          } else {
+            fail("json.expected_comma_or_close", "expected ',' or ']'",
+                 p < end ? p : open);
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      std::string s;
+      ok = parse_string(s);
+      if (ok) out = JsonValue::make_string(std::move(s));
+    } else if (*p == 't' || *p == 'f' || *p == 'n') {
+      const char* start = p;
+      auto literal = [&](const char* word) {
+        std::size_t len = std::strlen(word);
+        if (static_cast<std::size_t>(end - p) < len || std::strncmp(p, word, len) != 0)
+          return false;
+        p += len;
+        return true;
+      };
+      if (literal("true")) {
+        out = JsonValue::make_bool(true);
+        ok = true;
+      } else if (literal("false")) {
+        out = JsonValue::make_bool(false);
+        ok = true;
+      } else if (literal("null")) {
+        out = JsonValue::make_null();
+        ok = true;
+      } else {
+        ok = fail("json.bad_literal", "expected true/false/null", start);
+      }
+    } else if (*p == '-' || std::isdigit(static_cast<unsigned char>(*p))) {
+      ok = parse_number(out);
+    } else {
+      ok = fail("json.expected_value", std::string("unexpected character '") + *p + "'",
+                p);
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue& out, JsonError* error) {
+  TreeParser parser{text.data(), text.data(), text.data() + text.size(), {}};
+  JsonValue value;
+  if (parser.parse_value(value)) {
+    parser.skip_ws();
+    if (parser.p != parser.end) {
+      parser.fail("json.trailing", "trailing characters after document", parser.p);
+    } else {
+      out = std::move(value);
+      return true;
+    }
+  }
+  if (error != nullptr) *error = parser.err;
+  return false;
 }
 
 }  // namespace flattree::obs

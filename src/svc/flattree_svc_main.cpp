@@ -1,0 +1,100 @@
+// flattree_svc: the stdin/stdout flat-tree controller service.
+//
+//   echo '{"op":"build","k":8}' | flattree_svc
+//   flattree_svc --script session.jsonl --journal journal.jsonl
+//
+// One flattree-svc.v1 response line per input line (see DESIGN.md
+// Section 10). The response stream and journal are byte-identical at any
+// --threads count, with or without --metrics-json/--trace, cold or
+// --incremental, and when a journal is replayed as the next --script.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "exec/parallel_for.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/svc.hpp"
+#include "util/cli.hpp"
+
+using namespace flattree;
+
+int main(int argc, char** argv) {
+  std::string script, journal_path, metrics_json, trace;
+  std::int64_t batch = 8, threads = 0, min_augs = 32;
+  double eps = 0.12, augs_per_ms = 4000.0;
+  bool incremental = false, selfcheck = false;
+
+  util::CliParser cli("flattree_svc: JSON-lines controller service (flattree-svc.v1).");
+  cli.add_string("script", &script, "read requests from this file instead of stdin");
+  cli.add_string("journal", &journal_path,
+                 "append the canonical form of every accepted request to this file");
+  cli.add_int("batch", &batch, "max consecutive read-only requests evaluated as one batch");
+  cli.add_int("threads", &threads,
+              "execution threads (0 = FLATTREE_THREADS env / hardware concurrency)");
+  cli.add_double("eps", &eps, "Garg-Koenemann epsilon for throughput queries");
+  cli.add_double("augs-per-ms", &augs_per_ms,
+                 "SLO cost model: GK augmentations afforded per deadline millisecond");
+  cli.add_int("min-augs", &min_augs, "SLO budget floor (augmentations)");
+  cli.add_bool("incremental", &incremental,
+               "reuse work across requests (delta-repaired BFS caches, warm-started "
+               "MCF); output is byte-identical to cold mode");
+  cli.add_bool("selfcheck", &selfcheck,
+               "run the controller validity battery after every mutating request "
+               "(exit 1 on any violation)");
+  cli.add_string("metrics-json", &metrics_json,
+                 "write a JSON run manifest to this path (also backs the 'manifest' op)");
+  cli.add_string("trace", &trace, "write a JSON-lines span trace to this path");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  exec::set_global_threads(threads > 0 ? static_cast<unsigned>(threads) : 0);
+  obs::RunSession obs_session(argc, argv, metrics_json, trace);
+  if (obs_session.active()) {
+    obs::set_enabled(true);
+    if (!trace.empty()) obs::start_tracing();
+  }
+
+  std::ifstream script_file;
+  if (!script.empty()) {
+    script_file.open(script);
+    if (!script_file) {
+      std::fprintf(stderr, "flattree_svc: cannot open --script '%s'\n", script.c_str());
+      return 2;
+    }
+  }
+  std::ofstream journal_file;
+  if (!journal_path.empty()) {
+    journal_file.open(journal_path);
+    if (!journal_file) {
+      std::fprintf(stderr, "flattree_svc: cannot open --journal '%s'\n",
+                   journal_path.c_str());
+      return 2;
+    }
+  }
+
+  svc::ServiceOptions opt;
+  opt.max_batch = batch > 0 ? static_cast<std::size_t>(batch) : 1;
+  opt.epsilon = eps;
+  opt.incremental = incremental;
+  opt.selfcheck = selfcheck;
+  opt.slo.augmentations_per_ms = augs_per_ms;
+  opt.slo.min_augmentations = min_augs > 0 ? static_cast<std::uint64_t>(min_augs) : 0;
+  opt.journal = journal_path.empty() ? nullptr : &journal_file;
+  opt.manifest_session = &obs_session;
+
+  svc::Service service(opt);
+  service.run(script.empty() ? std::cin : script_file, std::cout);
+  std::cout.flush();
+
+  if (selfcheck) {
+    std::size_t v = service.selfcheck_violations();
+    if (v > 0) {
+      std::fprintf(stderr, "flattree_svc selfcheck: FAILED (%zu violation(s))\n", v);
+      return 1;
+    }
+    std::fprintf(stderr, "flattree_svc selfcheck: OK (0 violations)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "exec/parallel_for.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace flattree::svc {
+
+namespace {
+
+obs::Counter c_requests("svc.requests");
+obs::Counter c_rejected("svc.rejected");
+obs::Counter c_batches("svc.batches");
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opt) : opt_(std::move(opt)) {
+  if (opt_.max_batch == 0) opt_.max_batch = 1;
+  sessions_.resize(kMaxSessions);
+}
+
+void Service::fill_stats_payload(obs::JsonValue& payload) const {
+  put(payload, "lines", jint(static_cast<std::int64_t>(stats_.lines)));
+  put(payload, "accepted", jint(static_cast<std::int64_t>(stats_.accepted)));
+  put(payload, "rejected", jint(static_cast<std::int64_t>(stats_.rejected)));
+  obs::JsonValue ops = obs::JsonValue::make_object();
+  for (int i = 0; i < 10; ++i)
+    if (stats_.accepted_by_op[i] > 0)
+      put(ops, to_string(static_cast<Op>(i)),
+          jint(static_cast<std::int64_t>(stats_.accepted_by_op[i])));
+  put(payload, "ops", std::move(ops));
+  put(payload, "fault_events", jint(static_cast<std::int64_t>(stats_.fault_events)));
+  put(payload, "solves", jint(static_cast<std::int64_t>(stats_.solves)));
+  put(payload, "truncated_solves",
+      jint(static_cast<std::int64_t>(stats_.truncated_solves)));
+  put(payload, "certified_solves",
+      jint(static_cast<std::int64_t>(stats_.certified_solves)));
+  put(payload, "batches", jint(static_cast<std::int64_t>(stats_.batches)));
+  put(payload, "max_batch", jint(static_cast<std::int64_t>(stats_.max_batch)));
+  put(payload, "journal_lines", jint(static_cast<std::int64_t>(stats_.journal_lines)));
+}
+
+Service::EvalResult Service::eval(const Request& req, bool sequential) {
+  OBS_SPAN("svc.eval");
+  EvalResult r;
+  obs::JsonValue payload = obs::JsonValue::make_object();
+  RequestError err;
+  const double t0 = now_ms();
+
+  try {
+    switch (req.op) {
+      case Op::Hello:
+        // Protocol constants only: anything that varies with run knobs that
+        // the byte-identity matrix toggles (--incremental, --threads, obs)
+        // must stay out of the response stream.
+        put(payload, "proto", jstr("flattree-svc.v1"));
+        put(payload, "max_batch", jint(static_cast<std::int64_t>(opt_.max_batch)));
+        put(payload, "sessions", jint(kMaxSessions));
+        r.ok = true;
+        break;
+      case Op::Stats:
+        fill_stats_payload(payload);
+        r.ok = true;
+        break;
+      case Op::Manifest: {
+        std::string path;
+        bool present = false;
+        if (!req_string(req.body, "path", path, present, err)) break;
+        if (!present) {
+          err = RequestError{"svc.request.bad_field", "field 'path' (string) is required"};
+          break;
+        }
+        // The side effect depends on observability; the response must not
+        // (obs on/off byte-identity), so failures only warn on stderr.
+        if (opt_.manifest_session != nullptr && obs::enabled()) {
+          std::ofstream f(path);
+          if (f) {
+            f << opt_.manifest_session->manifest_json() << '\n';
+          } else {
+            std::fprintf(stderr, "svc: cannot write manifest to '%s'\n", path.c_str());
+          }
+        }
+        put(payload, "path", jstr(path));
+        r.ok = true;
+        break;
+      }
+      case Op::Build:
+      case Op::Traffic:
+      case Op::Fault:
+      case Op::Convert:
+      case Op::Expand: {
+        // Mutating ops run on the sequential path only; create the shard
+        // lazily (exec_* other than build still require a built plant).
+        if (sessions_[req.session] == nullptr) {
+          SessionOptions sopt;
+          sopt.epsilon = opt_.epsilon;
+          sopt.incremental = opt_.incremental;
+          sopt.slo = opt_.slo;
+          sessions_[req.session] = std::make_unique<Session>(sopt);
+        }
+        Session& s = *sessions_[req.session];
+        switch (req.op) {
+          case Op::Build:
+            r.ok = s.exec_build(req, payload, err);
+            break;
+          case Op::Traffic:
+            r.ok = s.exec_traffic(req, payload, err);
+            break;
+          case Op::Fault:
+            r.ok = s.exec_fault(req, payload, r.tally, err);
+            break;
+          case Op::Convert:
+            r.ok = s.exec_convert(req, payload, err);
+            break;
+          default:
+            r.ok = s.exec_expand(req, payload, err);
+            break;
+        }
+        if (r.ok && opt_.selfcheck && req.op != Op::Traffic) {
+          check::Report report = s.controller().self_check();
+          if (!report.ok()) {
+            violations_ += report.violations.size();
+            std::string text = report.to_string();
+            std::fprintf(stderr, "svc selfcheck[seq %llu]: %zu violation(s)\n%s\n",
+                         static_cast<unsigned long long>(req.seq),
+                         report.violations.size(), text.c_str());
+          }
+        }
+        break;
+      }
+      case Op::Query:
+      case Op::WhatIf: {
+        Session* s = sessions_[req.session].get();
+        if (s == nullptr || !s->built()) {
+          err = RequestError{"svc.session.not_built",
+                             "session has no plant; send a 'build' request first"};
+          break;
+        }
+        r.ok = req.op == Op::Query
+                   ? s->exec_query(req, sequential, payload, r.tally, err)
+                   : s->exec_what_if(req, sequential, payload, r.tally, err);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    r.ok = false;
+    err = RequestError{"svc.internal", e.what()};
+  }
+
+  r.wall_ms = now_ms() - t0;
+  r.response = r.ok ? render_response(req, payload) : render_error(req, err);
+  return r;
+}
+
+void Service::emit(std::ostream& out, const Request& req, EvalResult&& r) {
+  out << r.response << '\n';
+  if (r.ok) {
+    ++stats_.accepted;
+    ++stats_.accepted_by_op[static_cast<int>(req.op)];
+    stats_.fault_events += r.tally.fault_events;
+    stats_.solves += r.tally.solves;
+    stats_.truncated_solves += r.tally.truncated;
+    stats_.certified_solves += r.tally.certified;
+    if (opt_.journal != nullptr) {
+      *opt_.journal << req.canonical << '\n';
+      ++stats_.journal_lines;
+    }
+  } else {
+    ++stats_.rejected;
+    if (obs::enabled()) c_rejected.inc();
+  }
+  if (obs::enabled()) c_requests.inc();
+  if (opt_.latency_hook) opt_.latency_hook(req, r.ok, r.wall_ms);
+}
+
+void Service::flush(std::vector<Request>& pending, std::ostream& out) {
+  if (pending.empty()) return;
+  ++stats_.batches;
+  if (pending.size() > stats_.max_batch) stats_.max_batch = pending.size();
+  if (obs::enabled()) c_batches.inc();
+
+  std::vector<EvalResult> results(pending.size());
+  if (pending.size() == 1) {
+    results[0] = eval(pending[0], /*sequential=*/true);
+  } else {
+    // Read-only fan-out: every worker evaluates cold (bitwise-equal to the
+    // warm sequential path), responses land in per-index slots and are
+    // emitted in input order below.
+    exec::parallel_for(pending.size(), [&](std::size_t i) {
+      results[i] = eval(pending[i], /*sequential=*/false);
+    });
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    emit(out, pending[i], std::move(results[i]));
+  pending.clear();
+}
+
+void Service::run(std::istream& in, std::ostream& out) {
+  OBS_SPAN("svc.run");
+  std::string line;
+  std::uint64_t seq = 0;
+  std::vector<Request> pending;
+  pending.reserve(opt_.max_batch);
+
+  while (std::getline(in, line)) {
+    ++seq;
+    ++stats_.lines;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    Request req;
+    RequestError err;
+    if (!parse_request(line, seq, req, err)) {
+      // A rejected line is a batch boundary so the error response keeps
+      // its place in the stream.
+      flush(pending, out);
+      out << render_line_error(seq, err) << '\n';
+      ++stats_.rejected;
+      if (obs::enabled()) {
+        c_requests.inc();
+        c_rejected.inc();
+      }
+      continue;
+    }
+
+    if (read_only(req.op)) {
+      pending.push_back(std::move(req));
+      if (pending.size() >= opt_.max_batch) flush(pending, out);
+    } else {
+      flush(pending, out);
+      emit(out, req, eval(req, /*sequential=*/true));
+    }
+  }
+  flush(pending, out);
+}
+
+}  // namespace flattree::svc

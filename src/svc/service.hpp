@@ -1,0 +1,115 @@
+#pragma once
+// Service: the long-running flattree-svc.v1 request loop (ISSUE 6
+// tentpole). Reads JSON-lines requests from a stream, evaluates them
+// against up to kMaxSessions session shards, and writes one response line
+// per input line, in input order.
+//
+// Determinism contract (the same one every bench in this repo honors):
+// given the same input and the same ServiceOptions knobs that are part of
+// the protocol surface (max_batch, epsilon, slo), the response stream and
+// the journal are byte-identical
+//
+//   * at any --threads count,
+//   * with observability on or off,
+//   * cold or --incremental,
+//   * and when a journal is replayed as the input script.
+//
+// Batching: consecutive read-only requests (hello/query/what_if) collect
+// into a batch; any mutating op, any rejected line, a full batch
+// (max_batch), or EOF is a boundary. Boundaries are a pure function of the
+// input, never of timing. A batch of one evaluates sequentially through
+// the warm engines; a larger batch fans out over the exec pool with every
+// worker evaluating cold — the two paths are bitwise-equal by
+// construction (see session.hpp), so the batch layout never shows in the
+// output bytes.
+//
+// Journal: the canonical re-rendering (JsonValue::to_json) of every
+// *accepted* request, one per line, written at response emission in input
+// order. Rejected requests are never journaled, so a journal replays
+// without errors and `journal(replay(journal)) == journal` byte for byte.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/session.hpp"
+
+namespace flattree::obs {
+// fwd: backs the `manifest` op when observability is on
+class RunSession;
+}
+
+namespace flattree::svc {
+
+/// Deterministic run counters (the `stats` op reports these; wall-clock
+/// quantities are deliberately excluded — they live in bench_service's
+/// latency histograms instead).
+struct ServiceStats {
+  std::uint64_t lines = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t accepted_by_op[10] = {};  ///< indexed by Op
+  std::uint64_t fault_events = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t truncated_solves = 0;
+  std::uint64_t certified_solves = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;  ///< largest batch actually evaluated
+  std::uint64_t journal_lines = 0;
+};
+
+/// Knobs for one service run; all deterministic except `latency_hook`.
+struct ServiceOptions {
+  std::size_t max_batch = 8;   ///< read-only requests per batch (>= 1)
+  double epsilon = 0.12;       ///< GK epsilon for throughput queries
+  bool incremental = false;    ///< warm engines on the sequential path
+  bool selfcheck = false;      ///< run controller self_check after mutations
+  SloPolicy slo;
+  std::ostream* journal = nullptr;           ///< accepted-request journal
+  obs::RunSession* manifest_session = nullptr;  ///< backs the `manifest` op
+  /// Called at response emission, in input order. `wall_ms` is measured
+  /// wall time for evaluating that request — not deterministic, and never
+  /// part of the response stream; bench_service builds its latency
+  /// histograms and SLO hit rates from this hook.
+  std::function<void(const Request& req, bool ok, double wall_ms)> latency_hook;
+};
+
+/// The JSON-lines request loop: reads requests, batches consecutive
+/// read-only ones through the exec pool (deterministic boundaries, results
+/// emitted in input order), journals accepted requests, and answers every
+/// line exactly once.
+class Service {
+ public:
+  explicit Service(ServiceOptions opt);
+
+  /// Processes `in` to EOF; one response line per input line on `out`.
+  void run(std::istream& in, std::ostream& out);
+
+  const ServiceStats& stats() const { return stats_; }
+  /// Controller self_check violations observed (selfcheck mode only).
+  std::size_t selfcheck_violations() const { return violations_; }
+
+ private:
+  struct EvalResult {
+    std::string response;
+    bool ok = false;
+    EvalTally tally;
+    double wall_ms = 0.0;
+  };
+
+  EvalResult eval(const Request& req, bool sequential);
+  void emit(std::ostream& out, const Request& req, EvalResult&& r);
+  void flush(std::vector<Request>& pending, std::ostream& out);
+  void fill_stats_payload(obs::JsonValue& payload) const;
+
+  ServiceOptions opt_;
+  ServiceStats stats_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace flattree::svc

@@ -1,0 +1,103 @@
+#pragma once
+// Per-session service state: one shard of the flattree-svc.v1 request
+// space (the "session" envelope field selects a shard).
+//
+// A session owns a fault::ResilientController over its own physical plant,
+// the current traffic-matrix snapshot, and the warm engines that make
+// --incremental evaluation cheap without changing a single output byte:
+//
+//   * inc::DynamicApsp for APL queries — delta-repaired BFS trees,
+//     bitwise-equal to cold topo::server_apl_subset;
+//   * inc::McfWarmCache (exact-only tier) for throughput queries —
+//     resumes of identical instances are bitwise-identical to cold solves.
+//
+// Mutating executors (build/traffic/fault/convert/expand) are only ever
+// called from the service's sequential path. Read-only executors
+// (query/what_if) run in two modes: `sequential = true` (batch of one)
+// uses the warm engines; `sequential = false` (parallel batch worker)
+// evaluates cold and touches no session members beyond const reads —
+// both produce the same bytes, so batching never shows in the output.
+//
+// Error-code families produced here: svc.session.not_built,
+// svc.build.bad_params, svc.traffic.bad_demand, svc.fault.bad_event,
+// svc.fault.time_regression, svc.convert.in_flight, svc.convert.bad_mode,
+// svc.expand.infeasible, svc.expand.in_flight,
+// svc.expand.faults_outstanding, svc.request.bad_field.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/resilient_controller.hpp"
+#include "inc/dynamic_bfs.hpp"
+#include "inc/mcf_warm.hpp"
+#include "mcf/commodity.hpp"
+#include "svc/protocol.hpp"
+#include "svc/slo.hpp"
+
+namespace flattree::svc {
+
+/// Per-shard evaluation knobs, shared by every session of a service run.
+struct SessionOptions {
+  double epsilon = 0.12;     ///< GK epsilon for throughput queries
+  bool incremental = false;  ///< warm engines on the sequential path
+  SloPolicy slo;
+};
+
+/// Deterministic work accounting for one evaluated request (feeds the
+/// service's `stats` op; wall-clock never enters these).
+struct EvalTally {
+  std::uint64_t solves = 0;
+  std::uint64_t truncated = 0;  ///< budget-truncated solves
+  std::uint64_t certified = 0;  ///< solves whose certificate passed
+  std::uint64_t fault_events = 0;
+};
+
+/// One state shard: a resilient controller, its traffic snapshot, and
+/// warm engines (DynamicApsp + McfWarmCache) whose answers are bitwise
+/// equal to cold evaluation. Ops arrive pre-parsed as Requests.
+class Session {
+ public:
+  explicit Session(SessionOptions opt) : opt_(opt) {}
+
+  bool built() const { return ctl_ != nullptr; }
+  /// The live controller (only valid when built()).
+  fault::ResilientController& controller() { return *ctl_; }
+  const fault::ResilientController& controller() const { return *ctl_; }
+
+  // Mutating executors — sequential only. Each returns true with `payload`
+  // populated, or false with `err` filled and *no state changed* (fault
+  // injection dry-runs the whole event batch before applying any of it).
+  bool exec_build(const Request& req, obs::JsonValue& payload, RequestError& err);
+  bool exec_traffic(const Request& req, obs::JsonValue& payload, RequestError& err);
+  bool exec_fault(const Request& req, obs::JsonValue& payload, EvalTally& tally,
+                  RequestError& err);
+  bool exec_convert(const Request& req, obs::JsonValue& payload, RequestError& err);
+  bool exec_expand(const Request& req, obs::JsonValue& payload, RequestError& err);
+
+  // Read-only executors — see the header comment for the two modes.
+  bool exec_query(const Request& req, bool sequential, obs::JsonValue& payload,
+                  EvalTally& tally, RequestError& err);
+  bool exec_what_if(const Request& req, bool sequential, obs::JsonValue& payload,
+                    EvalTally& tally, RequestError& err);
+
+ private:
+  bool require_built(RequestError& err) const;
+  bool parse_target_modes(const Request& req, std::vector<core::Mode>& modes,
+                          RequestError& err) const;
+  /// Appends the shared degraded-state metric block (down counts,
+  /// stranded, alive, APL, and — when a traffic snapshot is installed and
+  /// the request didn't opt out with "lambda": false — the budgeted,
+  /// certified throughput fields).
+  void metric_block(const Request& req, const fault::DegradeResult& d, bool sequential,
+                    obs::JsonValue& payload, EvalTally& tally);
+
+  SessionOptions opt_;
+  std::unique_ptr<fault::ResilientController> ctl_;
+  std::vector<mcf::ServerDemand> demands_;
+  double total_demand_ = 0.0;
+  std::unique_ptr<inc::DynamicApsp> apsp_;       ///< sequential + incremental only
+  std::unique_ptr<inc::McfWarmCache> warm_;      ///< exact-only; same restriction
+};
+
+}  // namespace flattree::svc

@@ -1,0 +1,55 @@
+#include "svc/slo.hpp"
+
+#include <cmath>
+
+#include "check/certify.hpp"
+#include "obs/metrics.hpp"
+
+namespace flattree::svc {
+
+namespace {
+
+obs::Counter c_budgeted("svc.slo.budgeted_solves");
+obs::Counter c_truncated("svc.slo.truncated_solves");
+
+}  // namespace
+
+std::uint64_t budget_augmentations(const SloPolicy& policy, double deadline_ms) {
+  if (deadline_ms <= 0.0) return 0;  // no deadline: unlimited
+  double raw = deadline_ms * policy.augmentations_per_ms;
+  // Saturate instead of overflowing for absurd deadlines.
+  if (raw >= 9.0e18) return std::uint64_t{9000000000000000000ull};
+  std::uint64_t budget = static_cast<std::uint64_t>(raw);
+  return budget < policy.min_augmentations ? policy.min_augmentations : budget;
+}
+
+SloSolve solve_with_budget(const graph::Graph& g,
+                           const std::vector<mcf::Commodity>& commodities,
+                           double epsilon, std::uint64_t budget,
+                           inc::McfWarmCache* warm) {
+  SloSolve out;
+  out.budget = budget;
+  if (commodities.empty()) {
+    // Degenerate zero solve: nothing to route, vacuously certified.
+    out.certified = true;
+    return out;
+  }
+
+  mcf::McfOptions opt;
+  opt.epsilon = epsilon;
+  opt.allow_unreachable = true;
+  opt.compute_upper_bound = true;
+  opt.max_augmentations = budget;
+  out.result = warm != nullptr ? warm->solve(g, commodities, opt)
+                               : mcf::max_concurrent_flow(g, commodities, opt);
+
+  check::CertifyOptions copt;
+  copt.epsilon = epsilon;
+  out.certified = check::certify_served(g, commodities, out.result, copt).ok();
+
+  if (budget > 0) c_budgeted.inc();
+  if (out.result.truncated) c_truncated.inc();
+  return out;
+}
+
+}  // namespace flattree::svc

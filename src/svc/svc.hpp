@@ -1,0 +1,20 @@
+#pragma once
+// Umbrella header for the src/svc subsystem: the long-running flat-tree
+// controller service (ISSUE 6).
+//
+//   protocol.hpp  flattree-svc.v1 request/response grammar and rendering
+//   slo.hpp       deadline_ms -> deterministic GK augmentation budgets,
+//                 certified truncated solves
+//   session.hpp   per-shard state: resilient controller, traffic snapshot,
+//                 warm engines (bitwise-equal to cold)
+//   service.hpp   the JSON-lines loop: deterministic batching, journaling,
+//                 stats
+//
+// The stdin/stdout binary is flattree_svc (src/svc/flattree_svc_main.cpp);
+// bench_service drives the same Service class in-process. DESIGN.md
+// Section 10 documents the protocol; EXPERIMENTS.md shows how to run it.
+
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+#include "svc/session.hpp"
+#include "svc/slo.hpp"

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace flattree::obs {
 namespace {
@@ -91,6 +95,181 @@ TEST(JsonValid, RejectsRunawayNesting) {
   std::string deep(300, '[');
   deep += std::string(300, ']');
   EXPECT_FALSE(json_valid(deep));  // depth cap, not a stack overflow
+}
+
+// -- materializing parser (json_parse) ---------------------------------------
+
+/// Parses `text` expecting failure; returns the JsonError for inspection.
+JsonError parse_error(const std::string& text) {
+  JsonValue v;
+  JsonError err;
+  EXPECT_FALSE(json_parse(text, v, &err)) << text;
+  return err;
+}
+
+TEST(JsonParse, MaterializesScalars) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("null", v));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(json_parse("true", v));
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(json_parse("-42", v));
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  ASSERT_TRUE(json_parse("2.5e-1", v));
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_number(), 0.25);
+  ASSERT_TRUE(json_parse("\"a\\nb\"", v));
+  EXPECT_EQ(v.as_string(), "a\nb");
+}
+
+TEST(JsonParse, MaterializesContainersInDocumentOrder) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"z":1,"a":[true,null,{"k":"v"}]})", v));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object().size(), 2u);
+  EXPECT_EQ(v.object()[0].first, "z");  // document order, not sorted
+  EXPECT_EQ(v.object()[1].first, "a");
+  const JsonValue* arr = v.find("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array().size(), 3u);
+  EXPECT_EQ(arr->array()[2].find("k")->as_string(), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StableErrorCodes) {
+  EXPECT_EQ(parse_error("").code, "json.expected_value");
+  EXPECT_EQ(parse_error("{\"a\":}").code, "json.expected_value");
+  EXPECT_EQ(parse_error("\"unterminated").code, "json.unterminated_string");
+  EXPECT_EQ(parse_error("\"bad \\q escape\"").code, "json.bad_escape");
+  EXPECT_EQ(parse_error("\"\\u12g4\"").code, "json.bad_escape");
+  EXPECT_EQ(parse_error(std::string("\"a") + '\x01' + "b\"").code,
+            "json.control_in_string");
+  EXPECT_EQ(parse_error("tru").code, "json.bad_literal");
+  EXPECT_EQ(parse_error("01").code, "json.bad_number");
+  EXPECT_EQ(parse_error("1.").code, "json.bad_number");
+  EXPECT_EQ(parse_error("1e").code, "json.bad_number");
+  EXPECT_EQ(parse_error("{1:2}").code, "json.expected_string");
+  EXPECT_EQ(parse_error("{\"a\" 1}").code, "json.expected_colon");
+  EXPECT_EQ(parse_error("[1 2]").code, "json.expected_comma_or_close");
+  EXPECT_EQ(parse_error("{\"a\":1 \"b\":2}").code, "json.expected_comma_or_close");
+  EXPECT_EQ(parse_error("{} {}").code, "json.trailing");
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  // "Last key wins" would make request handling order-dependent; the
+  // protocol rejects the ambiguity outright.
+  JsonError err = parse_error(R"({"op":"query","op":"stats"})");
+  EXPECT_EQ(err.code, "json.duplicate_key");
+  EXPECT_NE(err.message.find("op"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsNonFiniteNumbers) {
+  // A capacity of 1e999 overflows to inf in strtod; leaking that into
+  // solver state would poison GK, so the parser fails loudly instead.
+  EXPECT_EQ(parse_error("1e999").code, "json.number_nonfinite");
+  EXPECT_EQ(parse_error("-1e999").code, "json.number_nonfinite");
+  EXPECT_EQ(parse_error(R"({"demand":1e999})").code, "json.number_nonfinite");
+  // Bare non-finite tokens are not JSON at all.
+  EXPECT_EQ(parse_error("NaN").code, "json.expected_value");
+  EXPECT_EQ(parse_error("Infinity").code, "json.expected_value");
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_EQ(parse_error(deep).code, "json.depth");
+}
+
+TEST(JsonParse, ReportsLineAndColumn) {
+  JsonError err = parse_error("{\"a\":1,\n  \"b\":nul}");
+  EXPECT_EQ(err.code, "json.bad_literal");
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_EQ(err.column, 7u);
+
+  err = parse_error("[1,2,\n3,\n4 5]");
+  EXPECT_EQ(err.code, "json.expected_comma_or_close");
+  EXPECT_EQ(err.line, 3u);
+  EXPECT_EQ(err.column, 3u);
+
+  err = parse_error("x");
+  EXPECT_EQ(err.line, 1u);
+  EXPECT_EQ(err.column, 1u);
+}
+
+TEST(JsonParse, IntVsDoubleSplit) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("9007199254740993", v));  // 2^53 + 1, still int64
+  EXPECT_TRUE(v.is_int());
+  ASSERT_TRUE(json_parse("1.0", v));
+  EXPECT_TRUE(v.is_double());
+  ASSERT_TRUE(json_parse("1e2", v));  // exponent form stays a double token
+  EXPECT_TRUE(v.is_double());
+  // -0 must stay a double so canonical re-emission round-trips the sign.
+  ASSERT_TRUE(json_parse("-0", v));
+  EXPECT_TRUE(v.is_double());
+}
+
+TEST(JsonParse, CanonicalReemissionIsAFixpoint) {
+  // Whitespace and number spellings normalize once, then never again.
+  const char* text = "  {\"a\" : [ 1 , 2.50 , \"x\" ] , \"b\" : true }  ";
+  JsonValue v;
+  ASSERT_TRUE(json_parse(text, v));
+  std::string once = v.to_json();
+  JsonValue v2;
+  ASSERT_TRUE(json_parse(once, v2));
+  EXPECT_EQ(v2.to_json(), once);
+  EXPECT_EQ(once, R"({"a":[1,2.5,"x"],"b":true})");
+}
+
+/// Random JsonValue tree: every kind reachable, bounded depth/fanout,
+/// unique object keys (duplicates are a parse error by design).
+JsonValue random_value(util::Rng& rng, int depth) {
+  std::uint64_t kind = rng.below(depth >= 3 ? 5 : 7);
+  switch (kind) {
+    case 0: return JsonValue::make_null();
+    case 1: return JsonValue::make_bool(rng.chance(0.5));
+    case 2: return JsonValue::make_int(rng.range(-1000000, 1000000));
+    case 3: {
+      double d = rng.uniform(-1e9, 1e9);
+      if (rng.chance(0.25)) d = rng.uniform();  // exercise fractional spellings
+      return JsonValue::make_double(d);
+    }
+    case 4: {
+      static const char* pool[] = {"", "plain", "esc\"ape", "tab\there",
+                                   "new\nline", "uni\x01code", "back\\slash"};
+      return JsonValue::make_string(pool[rng.below(7)]);
+    }
+    case 5: {
+      JsonValue arr = JsonValue::make_array();
+      std::uint64_t n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        arr.array().push_back(random_value(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      JsonValue obj = JsonValue::make_object();
+      std::uint64_t n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        obj.object().emplace_back("k" + std::to_string(i),
+                                  random_value(rng, depth + 1));
+      return obj;
+    }
+  }
+}
+
+TEST(JsonParse, RandomizedWriteParseWriteRoundTrip) {
+  util::Rng rng(20260809);
+  for (int trial = 0; trial < 500; ++trial) {
+    JsonValue v = random_value(rng, 0);
+    std::string written = v.to_json();
+    ASSERT_TRUE(json_valid(written)) << written;
+    JsonValue parsed;
+    JsonError err;
+    ASSERT_TRUE(json_parse(written, parsed, &err))
+        << written << " -> " << err.code << ": " << err.message;
+    EXPECT_EQ(parsed.to_json(), written);  // byte-equal round trip
+  }
 }
 
 }  // namespace

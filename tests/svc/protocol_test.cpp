@@ -1,0 +1,172 @@
+// flattree-svc.v1 wire protocol: op tokens, the read-only (batchable)
+// subset, envelope validation with stable error codes, and byte-exact
+// response rendering (the fixed schema/seq/id/op/ok key order every
+// replay-equivalence test compares against).
+
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flattree::svc {
+namespace {
+
+Request must_parse(const std::string& line, std::uint64_t seq = 1) {
+  Request req;
+  RequestError err;
+  EXPECT_TRUE(parse_request(line, seq, req, err))
+      << line << " -> " << err.code << ": " << err.message;
+  return req;
+}
+
+RequestError must_fail(const std::string& line, std::uint64_t seq = 1) {
+  Request req;
+  RequestError err;
+  EXPECT_FALSE(parse_request(line, seq, req, err)) << line;
+  return err;
+}
+
+TEST(Protocol, OpTokensRoundTrip) {
+  const Op all[] = {Op::Hello,  Op::Build,  Op::Traffic, Op::Fault,
+                    Op::Convert, Op::WhatIf, Op::Expand,  Op::Query,
+                    Op::Stats,  Op::Manifest};
+  for (Op op : all) {
+    Op back;
+    ASSERT_TRUE(parse_op(to_string(op), back)) << to_string(op);
+    EXPECT_EQ(back, op);
+  }
+  Op out;
+  EXPECT_FALSE(parse_op("", out));
+  EXPECT_FALSE(parse_op("HELLO", out));  // tokens are lowercase, exact
+  EXPECT_FALSE(parse_op("whatif", out));
+}
+
+TEST(Protocol, ReadOnlySubsetIsExactlyTheBatchableOps) {
+  EXPECT_TRUE(read_only(Op::Hello));
+  EXPECT_TRUE(read_only(Op::Query));
+  EXPECT_TRUE(read_only(Op::WhatIf));
+  EXPECT_FALSE(read_only(Op::Build));
+  EXPECT_FALSE(read_only(Op::Traffic));
+  EXPECT_FALSE(read_only(Op::Fault));
+  EXPECT_FALSE(read_only(Op::Convert));
+  EXPECT_FALSE(read_only(Op::Expand));
+  EXPECT_FALSE(read_only(Op::Stats));     // reads mutable counters
+  EXPECT_FALSE(read_only(Op::Manifest));  // writes a file
+}
+
+TEST(Protocol, ParsesEnvelopeDefaults) {
+  Request req = must_parse(R"({"op":"query"})", 7);
+  EXPECT_EQ(req.op, Op::Query);
+  EXPECT_EQ(req.seq, 7u);
+  EXPECT_EQ(req.session, 0u);
+  EXPECT_EQ(req.id_json, "");
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 0.0);
+  EXPECT_EQ(req.canonical, R"({"op":"query"})");
+}
+
+TEST(Protocol, ParsesFullEnvelope) {
+  Request req =
+      must_parse(R"({"op":"what_if","id":"q-1","session":3,"deadline_ms":2.5})");
+  EXPECT_EQ(req.op, Op::WhatIf);
+  EXPECT_EQ(req.id_json, "\"q-1\"");
+  EXPECT_EQ(req.session, 3u);
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 2.5);
+  // Canonical form preserves document key order (it is the journal line).
+  EXPECT_EQ(req.canonical,
+            R"({"op":"what_if","id":"q-1","session":3,"deadline_ms":2.5})");
+}
+
+TEST(Protocol, IdMayBeAnyScalar) {
+  EXPECT_EQ(must_parse(R"({"op":"hello","id":42})").id_json, "42");
+  EXPECT_EQ(must_parse(R"({"op":"hello","id":true})").id_json, "true");
+  EXPECT_EQ(must_parse(R"({"op":"hello","id":null})").id_json, "null");
+  EXPECT_EQ(must_parse(R"({"op":"hello","id":-1.5})").id_json, "-1.5");
+  EXPECT_EQ(must_fail(R"({"op":"hello","id":[1]})").code, "svc.request.bad_field");
+  EXPECT_EQ(must_fail(R"({"op":"hello","id":{}})").code, "svc.request.bad_field");
+}
+
+TEST(Protocol, EnvelopeErrorCodes) {
+  // Parse errors surface the json.* code with position info.
+  RequestError err = must_fail("{\"op\":");
+  EXPECT_EQ(err.code, "json.expected_value");
+  EXPECT_GT(err.line, 0u);
+  EXPECT_GT(err.column, 0u);
+
+  EXPECT_EQ(must_fail("[1,2]").code, "svc.request.not_object");
+  EXPECT_EQ(must_fail("42").code, "svc.request.not_object");
+  EXPECT_EQ(must_fail("{}").code, "svc.request.missing_op");
+  EXPECT_EQ(must_fail(R"({"op":42})").code, "svc.request.missing_op");
+
+  err = must_fail(R"({"op":"frobnicate"})");
+  EXPECT_EQ(err.code, "svc.request.unknown_op");
+  // The message lists the valid tokens so a client can self-correct.
+  EXPECT_NE(err.message.find("hello"), std::string::npos);
+  EXPECT_NE(err.message.find("what_if"), std::string::npos);
+  EXPECT_NE(err.message.find("manifest"), std::string::npos);
+}
+
+TEST(Protocol, SessionBounds) {
+  EXPECT_EQ(must_parse(R"({"op":"query","session":0})").session, 0u);
+  EXPECT_EQ(must_parse(R"({"op":"query","session":31})").session,
+            kMaxSessions - 1);
+  EXPECT_EQ(must_fail(R"({"op":"query","session":32})").code,
+            "svc.request.bad_field");
+  EXPECT_EQ(must_fail(R"({"op":"query","session":-1})").code,
+            "svc.request.bad_field");
+  EXPECT_EQ(must_fail(R"({"op":"query","session":1.5})").code,
+            "svc.request.bad_field");
+}
+
+TEST(Protocol, DeadlineValidation) {
+  EXPECT_DOUBLE_EQ(must_parse(R"({"op":"query","deadline_ms":0})").deadline_ms, 0.0);
+  EXPECT_DOUBLE_EQ(must_parse(R"({"op":"query","deadline_ms":0.25})").deadline_ms,
+                   0.25);
+  EXPECT_EQ(must_fail(R"({"op":"query","deadline_ms":-1})").code,
+            "svc.request.bad_field");
+  EXPECT_EQ(must_fail(R"({"op":"query","deadline_ms":"soon"})").code,
+            "svc.request.bad_field");
+}
+
+TEST(Protocol, ResponseEnvelopeKeyOrderIsFixed) {
+  Request req = must_parse(R"({"op":"query","id":9,"session":1})", 4);
+  obs::JsonValue payload = obs::JsonValue::make_object();
+  put(payload, "stranded", jint(0));
+  put(payload, "apl", jdouble(3.5));
+  EXPECT_EQ(render_response(req, payload),
+            R"({"schema":"flattree-svc.v1","seq":4,"id":9,"op":"query","ok":true,)"
+            R"("stranded":0,"apl":3.5})");
+
+  // Without an id the key is omitted entirely (never "id":null).
+  Request bare = must_parse(R"({"op":"hello"})", 1);
+  EXPECT_EQ(render_response(bare, obs::JsonValue::make_object()),
+            R"({"schema":"flattree-svc.v1","seq":1,"op":"hello","ok":true})");
+}
+
+TEST(Protocol, ErrorEnvelopes) {
+  Request req = must_parse(R"({"op":"convert","id":"c7"})", 3);
+  RequestError err{"svc.convert.in_flight", "conversion already in flight", 0, 0};
+  EXPECT_EQ(render_error(req, err),
+            R"({"schema":"flattree-svc.v1","seq":3,"id":"c7","op":"convert",)"
+            R"("ok":false,"error":{"code":"svc.convert.in_flight",)"
+            R"("message":"conversion already in flight"}})");
+
+  // Line errors carry position info but no id/op (none was parsed).
+  RequestError parse_err{"json.trailing", "trailing characters after document", 1, 9};
+  EXPECT_EQ(render_line_error(5, parse_err),
+            R"({"schema":"flattree-svc.v1","seq":5,"ok":false,)"
+            R"("error":{"code":"json.trailing",)"
+            R"("message":"trailing characters after document","line":1,"col":9}})");
+}
+
+TEST(Protocol, CanonicalFormIsAParseFixpoint) {
+  Request req = must_parse(
+      "  {\"op\" : \"traffic\", \"cluster\" : 16, \"seed\" : 1e1 }  ");
+  Request again = must_parse(req.canonical);
+  EXPECT_EQ(again.canonical, req.canonical);
+  // 1e1 is a double token; its canonical spelling is json_number's.
+  EXPECT_EQ(req.canonical, R"({"op":"traffic","cluster":16,"seed":1e+01})");
+}
+
+}  // namespace
+}  // namespace flattree::svc
