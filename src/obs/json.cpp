@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace flattree::obs {
 
@@ -46,10 +47,7 @@ std::string json_number(double value) {
     std::snprintf(probe, sizeof(probe), "%.*g", prec, value);
     double back = 0.0;
     std::sscanf(probe, "%lf", &back);
-    if (back == value) {
-      std::memcpy(buf, probe, sizeof(probe));
-      break;
-    }
+    if (back == value) return probe;
   }
   return buf;
 }
@@ -586,17 +584,16 @@ struct TreeParser {
         ++p;
         ok = true;
       } else {
+        std::unordered_set<std::string> seen;
         for (;;) {
           skip_ws();
+          const char* key_at = p;
           std::string key;
           if (!parse_string(key)) break;
-          for (const auto& [k, v] : out.object())
-            if (k == key) {
-              (void)v;
-              fail("json.duplicate_key", "duplicate object key \"" + key + "\"", p);
-              break;
-            }
-          if (failed) break;
+          if (!seen.insert(key).second) {
+            fail("json.duplicate_key", "duplicate object key \"" + key + "\"", key_at);
+            break;
+          }
           skip_ws();
           if (p >= end || *p != ':') {
             fail("json.expected_colon", "expected ':' after object key", p);

@@ -218,7 +218,9 @@ bool Session::exec_traffic(const Request& req, obs::JsonValue& payload, RequestE
   } else {
     // Generated workload: cluster placement + pattern, seeded.
     bool present = false;
-    std::uint64_t cluster = 40, seed = 1;
+    // Default cluster size clamps to the plant so small topologies get a
+    // non-empty workload instead of silently rounding down to 0 clusters.
+    std::uint64_t cluster = std::min<std::uint64_t>(40, servers), seed = 1;
     std::string pattern_token = "broadcast", placement_token = "none";
     if (!req_u64(req.body, "cluster", servers, cluster, present, err)) return false;
     if (cluster == 0) return fail(err, "svc.request.bad_field", "field 'cluster': must be >= 1");
@@ -331,6 +333,12 @@ bool Session::exec_fault(const Request& req, obs::JsonValue& payload, EvalTally&
     }
   }
 
+  // 'advance' must validate before any event is applied: a rejected
+  // request may not mutate the session (atomicity invariant above).
+  bool advance_present = false;
+  std::uint64_t advance = 0;
+  if (!req_u64(req.body, "advance", 1u << 30, advance, advance_present, err)) return false;
+
   std::size_t changed = 0, recovery_steps = 0;
   std::uint32_t replans = 0;
   bool rolled_back = false;
@@ -343,10 +351,7 @@ bool Session::exec_fault(const Request& req, obs::JsonValue& payload, EvalTally&
   }
   tally.fault_events += events.size();
 
-  bool present = false;
-  std::uint64_t advance = 0;
-  if (!req_u64(req.body, "advance", 1u << 30, advance, present, err)) return false;
-  std::size_t advanced = present ? ctl_->advance(advance) : 0;
+  std::size_t advanced = advance_present ? ctl_->advance(advance) : 0;
 
   const fault::FaultState& fs = ctl_->fault_state();
   put(payload, "events", jint(static_cast<std::int64_t>(events.size())));

@@ -162,6 +162,9 @@ TEST(JsonParse, RejectsDuplicateKeys) {
   JsonError err = parse_error(R"({"op":"query","op":"stats"})");
   EXPECT_EQ(err.code, "json.duplicate_key");
   EXPECT_NE(err.message.find("op"), std::string::npos);
+  // The position is the duplicate key's opening quote.
+  EXPECT_EQ(err.line, 1);
+  EXPECT_EQ(err.column, 15);
 }
 
 TEST(JsonParse, RejectsNonFiniteNumbers) {

@@ -237,6 +237,33 @@ TEST(Service, MalformedFaultEventRejectsBatch) {
   EXPECT_EQ(q.find("down_switches")->as_int(), 0);
 }
 
+TEST(Service, BadAdvanceRejectsFaultBatchBeforeApply) {
+  // 'advance' validates with the rest of the request, before any event is
+  // applied: a batch of valid events with a malformed advance is rejected
+  // without touching the session and without a journal line.
+  RunResult r = run_service(
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"fault\",\"events\":[{\"t\":1,\"kind\":\"switch_down\",\"a\":0}],"
+      "\"advance\":-1}\n"
+      "{\"op\":\"query\",\"lambda\":false}\n");
+  EXPECT_EQ(error_code(response_at(r.responses, 1)), "svc.request.bad_field");
+  obs::JsonValue q = response_at(r.responses, 2);
+  ASSERT_TRUE(response_ok(q));
+  EXPECT_EQ(q.find("down_switches")->as_int(), 0);
+  EXPECT_EQ(r.journal.find("\"op\":\"fault\""), std::string::npos);
+}
+
+TEST(Service, TrafficDefaultClusterClampsToPlant) {
+  // k=4 fat tree has 16 servers, fewer than the default cluster size of
+  // 40; the default clamps to the plant so the workload is non-empty.
+  RunResult r = run_service(
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"traffic\",\"seed\":1}\n");
+  obs::JsonValue v = response_at(r.responses, 1);
+  ASSERT_TRUE(response_ok(v)) << error_code(v);
+  EXPECT_GT(v.find("demands")->as_int(), 0);
+}
+
 TEST(Service, ExpandWithFaultsOutstandingIsRejected) {
   // Generic expandable plant (fat-trees have no core headroom).
   std::string build =
