@@ -41,13 +41,14 @@ void run_case(util::Table& table, const char* name, const topo::Topology& t,
 
 int main(int argc, char** argv) {
   std::int64_t k = 8, train = 24, seed = 1, queue = 16;
-  double nic_rate = 4.0;
+  double nic_rate = 4.0, prop_delay = 0.01;
   std::int64_t threads = 0;
   util::CliParser cli("Extension: packet-level burst behavior across conversions.");
   cli.add_int("k", &k, "fat-tree parameter");
   cli.add_int("train", &train, "packets per flow (burst length)");
-  cli.add_int("queue", &queue, "output queue capacity in packets");
+  cli.add_int("queue-packets", &queue, "output queue capacity in packets (0 = infinite)");
   cli.add_double("nic-rate", &nic_rate, "injection rate vs unit link capacity");
+  cli.add_double("prop-delay", &prop_delay, "per-hop propagation delay");
   cli.add_int("seed", &seed, "RNG seed for the permutation");
   bool selfcheck = false;
   bench::add_threads_flag(cli, &threads);
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   sim::PacketSimConfig cfg;
   cfg.queue_packets = static_cast<std::size_t>(queue);
   cfg.nic_rate = nic_rate;
+  cfg.propagation_delay = prop_delay;
 
   util::Table table({"topology", "packets", "loss %", "mean delay", "p99 delay",
                      "finish time"});

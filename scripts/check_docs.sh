@@ -5,9 +5,9 @@
 #      checked .md files exists on disk (external http(s) links and pure
 #      anchors are skipped).
 #   2. Header doc coverage — every public header under src/graph/,
-#      src/mcf/, src/fault/ and src/svc/ has a file-level comment, and
-#      every namespace-scope declaration (struct/class/enum/free
-#      function) is immediately preceded by a doc comment.
+#      src/mcf/, src/fault/, src/svc/ and src/te/ has a file-level
+#      comment, and every namespace-scope declaration (struct/class/enum/
+#      free function) is immediately preceded by a doc comment.
 #   3. README bench catalog — the bench catalog table in README.md lists
 #      every bench binary that exists under bench/.
 #
@@ -76,7 +76,7 @@ def covered(lines, i):
     prev = lines[j].strip()
     return prev.startswith(("//", "///", "/*", "*", "*/")) or prev.endswith("*/")
 
-HEADER_DIRS = ["src/graph", "src/mcf", "src/fault", "src/svc"]
+HEADER_DIRS = ["src/graph", "src/mcf", "src/fault", "src/svc", "src/te"]
 for d in HEADER_DIRS:
     for name in sorted(os.listdir(os.path.join(root, d))):
         if not name.endswith(".hpp"):

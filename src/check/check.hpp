@@ -15,6 +15,7 @@
 //   check::equipment_parity(a, b)          — same-hardware cross-check
 //   check::certify(graph, commodities, mcf_result[, options])
 //   check::validate_paths / validate_fib_progress
+//   check::validate_weighted_fib(topology, wfib, pairs) — WCMP tables
 //   check::certify_distances(graph, source, dist) — BFS distance arrays
 //   check::run_differential(spec)          — tests only (exact LP inside)
 
@@ -24,3 +25,4 @@
 #include "check/invariants.hpp"
 #include "check/report.hpp"
 #include "check/routing_check.hpp"
+#include "check/te_check.hpp"

@@ -1,0 +1,46 @@
+#pragma once
+// Weighted-FIB (WCMP) model checking with Report-style violation codes.
+//
+// te::verify_weighted_fib answers "is this table safe to install" with a
+// first-failure description; this validator is its src/check twin: it
+// walks the same invariants but accumulates every finding under a stable
+// dotted code, so --selfcheck benches and negative-control tests can
+// filter programmatically. Codes:
+//
+//   te.wfib.bad_link      rule's link id is out of range, tombstoned, or
+//                         not incident to the switch it is installed at
+//   te.wfib.zero_weight   stored rule with weight 0 (compilers prune)
+//   te.wfib.weight_sum    non-empty entry's weights do not sum to the
+//                         table's weight budget (quantization must
+//                         conserve the budget exactly)
+//   te.wfib.disconnected  a checked pair is disconnected in the topology
+//   te.wfib.blackhole     a walk reaches a switch (not dst) with no
+//                         positive-weight rule toward dst
+//   te.wfib.loop          positive-weight rules form a forwarding cycle
+//                         toward dst
+//   te.wfib.hop_limit     some greedy walk exceeds the hop limit
+
+#include <utility>
+#include <vector>
+
+#include "check/report.hpp"
+#include "te/weighted_fib.hpp"
+#include "topo/topology.hpp"
+
+namespace flattree::check {
+
+struct WeightedFibCheckOptions {
+  /// Longest admissible greedy walk (matches te::verify_weighted_fib).
+  std::uint32_t hop_limit = 32;
+};
+
+/// Model-checks `fib` for every ordered pair in `pairs`: structural rule
+/// hygiene (bad_link / zero_weight / weight_sum) over the whole table,
+/// then reachability, loop-freedom, and the hop bound over every
+/// positive-weight walk of the checked pairs. See the header comment for
+/// the violation codes.
+Report validate_weighted_fib(const topo::Topology& t, const te::WeightedFib& fib,
+                             const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+                             const WeightedFibCheckOptions& options = {});
+
+}  // namespace flattree::check

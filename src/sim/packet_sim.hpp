@@ -4,9 +4,23 @@
 // Complements the fluid flow-level simulator (sim/flow_sim.hpp) with
 // queueing behavior: packets traverse the switch fabric hop by hop through
 // per-direction output queues, forwarded by a compiled FIB
-// (routing/fib.hpp) with per-flow hashing — store-and-forward with finite
-// buffers, so congestion shows up as queueing delay and tail drops rather
-// than a fair-share rate.
+// (routing/fib.hpp) or weighted WCMP FIB (te/weighted_fib.hpp) with
+// per-flow hashing — store-and-forward with finite buffers, so congestion
+// shows up as queueing delay and tail drops rather than a fair-share rate.
+//
+// Traffic-engineering extensions (all deterministic discrete-event time,
+// no wall clock; see DESIGN.md §11):
+//
+//   * Flowlet load balancing: with flowlet_gap > 0, a flow that pauses
+//     longer than the gap re-hashes onto a fresh path salt
+//     (te::FlowletTable) at the next injection.
+//   * ECN / DCTCP congestion control: with ecn = true, queues mark packets
+//     that arrive to an occupancy >= ecn_threshold; sources run a per-flow
+//     congestion window with an alpha-EWMA of the marked fraction,
+//     multiplicative decrease once per marked window, additive increase
+//     otherwise, and a multiplicative cut on loss. With ecn = false the
+//     simulator is the drop-tail baseline and behaves exactly as before
+//     this layer existed (open-loop NIC-paced injection).
 //
 // Time units: a packet of size 1 takes 1/capacity time units to serialize
 // onto a link of that capacity; propagation delay is per hop and constant.
@@ -15,6 +29,7 @@
 #include <vector>
 
 #include "routing/fib.hpp"
+#include "te/weighted_fib.hpp"
 #include "topo/topology.hpp"
 
 namespace flattree::sim {
@@ -24,10 +39,18 @@ struct PacketSimConfig {
   double propagation_delay = 0.01;///< per-hop propagation latency
   std::size_t queue_packets = 16; ///< per-output-queue capacity; 0 = infinite
   double nic_rate = 1.0;          ///< server injection rate (packets/size units)
+
+  // -- traffic engineering (PR 7) ------------------------------------------
+  double flowlet_gap = 0.0;       ///< idle gap starting a new flowlet; <= 0 off
+  bool ecn = false;               ///< DCTCP loop on; false = drop-tail baseline
+  std::size_t ecn_threshold = 8;  ///< mark at enqueue when occupancy >= K
+  double dctcp_gain = 0.0625;     ///< g of the alpha-EWMA (DCTCP's 1/16)
+  std::uint32_t init_cwnd = 8;    ///< initial per-flow congestion window
+  double ack_delay = 0.0;         ///< delivery/drop feedback latency to source
 };
 
 /// A packet train: `packets` packets injected back-to-back at the source
-/// NIC rate starting at `start`.
+/// NIC rate starting at `start` (window-clocked instead when ecn is on).
 struct PacketFlow {
   topo::ServerId src = 0;
   topo::ServerId dst = 0;
@@ -39,13 +62,32 @@ struct PacketStats {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
-  double mean_delay = 0.0;  ///< injection-to-delivery, delivered packets
-  double max_delay = 0.0;
-  double p99_delay = 0.0;
+  double mean_delay = 0.0;  ///< injection-to-delivery, delivered packets (0 if none)
+  double max_delay = 0.0;   ///< 0.0 when nothing is delivered
+  double p99_delay = 0.0;   ///< 0.0 when nothing is delivered
   double finish_time = 0.0; ///< when the last packet left the network
+
+  // -- flow completion times (per-flow last delivery minus start; flows
+  //    with no delivered packet are excluded; all 0.0 when none qualify) --
+  double fct_mean = 0.0;
+  double fct_p50 = 0.0;
+  double fct_p99 = 0.0;
+  double fct_max = 0.0;
+
+  // -- congestion signals ---------------------------------------------------
+  std::uint64_t ecn_marked = 0;     ///< delivered packets marked at >= 1 hop
+  std::uint64_t window_cuts = 0;    ///< multiplicative cwnd decreases
+  std::uint64_t flowlet_switches = 0; ///< flowlet re-hashes
+  double mean_queue = 0.0;          ///< occupancy sampled at each arc arrival
+  double max_queue = 0.0;           ///< largest occupancy sampled
 
   double loss_rate() const {
     return injected ? static_cast<double>(dropped) / static_cast<double>(injected) : 0.0;
+  }
+  /// Fraction of delivered packets that carried an ECN mark.
+  double mark_rate() const {
+    return delivered ? static_cast<double>(ecn_marked) / static_cast<double>(delivered)
+                     : 0.0;
   }
 };
 
@@ -57,13 +99,27 @@ class PacketSimulator {
   PacketSimulator(const topo::Topology& topo, const routing::Fib& fib,
                   PacketSimConfig config = {});
 
+  /// WCMP variant: forwarding choices come from the weighted FIB (compile
+  /// via te::compile_wcmp_*). Same coverage/lifetime requirements.
+  PacketSimulator(const topo::Topology& topo, const te::WeightedFib& fib,
+                  PacketSimConfig config = {});
+
   /// Runs all flows to completion (or drop) and returns aggregate stats.
-  /// Deterministic for a given input ordering.
+  /// Deterministic for a given input ordering. Flows with src == dst are
+  /// rejected (std::invalid_argument): the fabric model has nothing to
+  /// simulate for them, and silently delivering at zero hops would skew
+  /// delay statistics. Zero-packet flows are legal no-ops, so a run that
+  /// delivers nothing reports every delay/FCT statistic as 0.0.
   PacketStats run(const std::vector<PacketFlow>& flows);
 
  private:
+  PacketStats run_open_loop(const std::vector<PacketFlow>& flows);
+  PacketStats run_windowed(const std::vector<PacketFlow>& flows);
+  graph::LinkId select(topo::NodeId at, topo::NodeId dst, std::uint64_t salt) const;
+
   const topo::Topology& topo_;
-  const routing::Fib& fib_;
+  const routing::Fib* fib_ = nullptr;
+  const te::WeightedFib* wfib_ = nullptr;
   PacketSimConfig config_;
 };
 

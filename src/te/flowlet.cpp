@@ -1,0 +1,24 @@
+#include "te/flowlet.hpp"
+
+#include "util/rng.hpp"
+
+namespace flattree::te {
+
+FlowletTable::FlowletTable(double idle_gap) : idle_gap_(idle_gap) {}
+
+std::uint64_t FlowletTable::salt(std::uint64_t flow_id, double now) {
+  if (idle_gap_ <= 0.0) return flow_id;
+  auto [it, inserted] = table_.try_emplace(flow_id);
+  State& state = it->second;
+  if (!inserted && now - state.last_seen > idle_gap_) {
+    ++state.index;
+    ++switches_;
+  }
+  state.last_seen = now;
+  if (state.index == 0) return flow_id;
+  // Substream-style decorrelation: two avalanche rounds over the
+  // (flow, flowlet-index) pair, mirroring Rng::substream(seed, stream).
+  return util::mix64(util::mix64(flow_id + 0x9e3779b97f4a7c15ULL) ^ state.index);
+}
+
+}  // namespace flattree::te

@@ -1,0 +1,52 @@
+#pragma once
+// Flowlet-based load balancing: re-hash bursty flows at idle gaps.
+//
+// Per-flow hashing pins a flow to one path for its lifetime, so an
+// unlucky hash congests a link forever. Flowlet switching [Sinha et al.,
+// FLARE] exploits the burst structure of transport traffic: when a flow
+// pauses for longer than the network's path-delay skew, the next burst (a
+// "flowlet") can take a different path without reordering. The table
+// below detects such gaps in deterministic simulation time and derives a
+// fresh hash salt per flowlet with the same two-round splitmix64 mixing
+// Rng::substream uses, so rebalancing is a pure function of (flow id,
+// observation times) — byte-identical across runs and thread counts.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace flattree::te {
+
+/// Tracks per-flow flowlet state and produces the salted flow id the FIB
+/// hash should use. Not thread-safe (the packet simulator is a
+/// single-threaded discrete-event loop).
+class FlowletTable {
+ public:
+  /// `idle_gap` is the minimum quiet time that starts a new flowlet;
+  /// a non-positive gap disables flowlet detection (salt() returns the
+  /// flow id unchanged — plain per-flow hashing).
+  explicit FlowletTable(double idle_gap);
+
+  /// Observes a packet of `flow_id` at simulation time `now` (times per
+  /// flow must be non-decreasing) and returns the flow's current salted
+  /// id. The first packet of a flow starts flowlet 0 with salt == flow_id,
+  /// so enabling flowlets changes nothing until a gap actually occurs.
+  std::uint64_t salt(std::uint64_t flow_id, double now);
+
+  /// Number of flowlet transitions (re-hashes) observed so far.
+  std::uint64_t switches() const { return switches_; }
+  /// Number of flows seen.
+  std::size_t flows() const { return table_.size(); }
+  /// The configured idle gap (non-positive = disabled).
+  double idle_gap() const { return idle_gap_; }
+
+ private:
+  struct State {
+    double last_seen = 0.0;
+    std::uint64_t index = 0;  ///< flowlet ordinal within the flow
+  };
+  std::unordered_map<std::uint64_t, State> table_;
+  double idle_gap_;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace flattree::te

@@ -1,0 +1,70 @@
+#pragma once
+// WCMP weight compilers: derive integer next-hop weights from path
+// multiplicities or solver flow splits, quantized deterministically.
+//
+// Two sources of weights (both install into a te::WeightedFib whose
+// per-entry weights sum to the weight budget):
+//
+//   * Path multiplicities (compile_wcmp_paths): every candidate path of a
+//     routing scheme (ECMP's equal-cost set, or Yen's k shortest paths)
+//     contributes one count to each (switch, dst, link) hop it crosses;
+//     the per-entry counts are the share vector. With ECMP this weights a
+//     next hop by the number of shortest paths through it — the classic
+//     WCMP derivation; with KSP the same hop-by-hop caveat as
+//     routing::compile_fib applies (verify_weighted_fib detects loops).
+//   * MCF arc flows (compile_wcmp_mcf): shares come from a
+//     max-concurrent-flow solution's arc_flow vector (mcf::McfResult
+//     convention: arc 2l = link l a->b, arc 2l+1 = b->a) restricted to the
+//     shortest-path DAG toward each destination, so the solver's split of
+//     load over equal-cost hops programs the FIB. Entries whose candidate
+//     arcs carry no flow fall back to an even split.
+//
+// Quantization (quantize_weights) uses largest-remainder rounding: floor
+// shares scaled to the budget, then hand out the remaining units by
+// descending fractional remainder with index order as the deterministic
+// tie-break. The result always sums to the budget and never rounds a
+// positive share set to all zeros. Zero-weight rules are pruned before
+// installation.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "routing/paths.hpp"
+#include "te/weighted_fib.hpp"
+#include "topo/topology.hpp"
+
+namespace flattree::te {
+
+/// Knobs shared by both WCMP compilers.
+struct WcmpOptions {
+  /// Per-entry weight sum (hardware table resolution); must be positive.
+  std::uint32_t weight_budget = 64;
+};
+
+/// Largest-remainder quantization of non-negative `shares` to integers
+/// summing to `budget`. Throws std::invalid_argument when every share is
+/// zero (or negative) or the budget is zero. Deterministic: remainder ties
+/// break toward the lower index.
+std::vector<std::uint32_t> quantize_weights(const std::vector<double>& shares,
+                                            std::uint32_t budget);
+
+/// Compiles a weighted FIB from a routing scheme's path sets for every
+/// ordered pair in `pairs`: per-hop weights are path multiplicities,
+/// quantized per (switch, dst) entry. Counters: te.wcmp.compiles,
+/// te.wcmp.entries, te.wcmp.rules, te.wcmp.weight_total.
+WeightedFib compile_wcmp_paths(const topo::Topology& topo, routing::Routing& routing,
+                               const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                               const WcmpOptions& options = {});
+
+/// Compiles a weighted FIB over the shortest-path DAG toward each
+/// destination in `pairs`, weighting candidate hops by `arc_flow` (GK arc
+/// convention, see header comment; size must be 2 * link_count). Only
+/// switches reachable from some source of the pair set along the DAG get
+/// entries. Same counters as compile_wcmp_paths.
+WeightedFib compile_wcmp_mcf(const topo::Topology& topo,
+                             const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                             const std::vector<double>& arc_flow,
+                             const WcmpOptions& options = {});
+
+}  // namespace flattree::te

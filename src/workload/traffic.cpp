@@ -84,4 +84,24 @@ std::vector<ServerDemand> permutation_traffic(std::uint32_t total_servers, util:
   return out;
 }
 
+std::vector<ServerDemand> incast_pattern(std::uint32_t total_servers,
+                                         std::uint32_t sources, std::uint64_t seed) {
+  if (total_servers < 2)
+    throw std::invalid_argument("incast_pattern: need at least two servers");
+  if (sources == 0 || sources >= total_servers)
+    throw std::invalid_argument("incast_pattern: need 1 <= sources < total_servers");
+  util::Rng sink_rng = util::Rng::substream(seed, 0);
+  ServerId sink = static_cast<ServerId>(sink_rng.index(total_servers));
+  std::vector<ServerId> candidates;
+  candidates.reserve(total_servers - 1);
+  for (std::uint32_t s = 0; s < total_servers; ++s)
+    if (s != sink) candidates.push_back(s);
+  util::Rng pick_rng = util::Rng::substream(seed, 1);
+  pick_rng.shuffle(candidates);
+  std::vector<ServerDemand> out;
+  out.reserve(sources);
+  for (std::uint32_t i = 0; i < sources; ++i) out.push_back({candidates[i], sink, 1.0});
+  return out;
+}
+
 }  // namespace flattree::workload

@@ -34,4 +34,13 @@ std::vector<ServerDemand> cluster_traffic(const std::vector<Cluster>& clusters,
 /// the flow-level simulator benches.
 std::vector<ServerDemand> permutation_traffic(std::uint32_t total_servers, util::Rng& rng);
 
+/// Fabric-wide incast over [0, total): `sources` distinct random servers
+/// each send one unit to a single random sink (never a self-pair). Pure
+/// function of (total_servers, sources, seed) — sink and source choices
+/// come from Rng::substream(seed, ...), so the pattern is identical at any
+/// thread count or call site. Requires 1 <= sources < total_servers.
+/// Used by bench_congestion for the many-to-one congestion workload.
+std::vector<ServerDemand> incast_pattern(std::uint32_t total_servers,
+                                         std::uint32_t sources, std::uint64_t seed);
+
 }  // namespace flattree::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "core/flat_tree.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/ksp_routing.hpp"
@@ -126,6 +128,55 @@ TEST(VerifyFib, HopLimitEnforced) {
   FibVerification tight = verify_fib(t, fib, pairs, /*hop_limit=*/1);
   EXPECT_FALSE(tight.ok);
   EXPECT_NE(tight.error.find("exceeds"), std::string::npos);
+}
+
+TEST(FibSelect, StableAcrossRebuildsAndThreadCounts) {
+  // select() is a pure function of (at, dst, flow_id): two independently
+  // compiled FIBs over the same topology must route every flow id the
+  // same way, regardless of compilation order or the exec pool size the
+  // enclosing bench happened to use (nothing in the FIB reads the pool).
+  topo::FatTree ft = topo::build_fat_tree(4);
+  EcmpRouting r1(ft.topo.graph());
+  EcmpRouting r2(ft.topo.graph());
+  auto pairs = all_server_pairs(ft.topo);
+  Fib a = compile_fib(ft.topo, r1, pairs);
+  Fib b = compile_fib(ft.topo, r2, pairs);
+  for (auto [src, dst] : pairs)
+    for (std::uint64_t flow = 0; flow < 32; ++flow)
+      EXPECT_EQ(a.select(src, dst, flow), b.select(src, dst, flow));
+}
+
+TEST(FibSelect, FlowSweepSpreadsAcrossEqualCostHops) {
+  // Distribution sanity over a deterministic flow-id sweep: an edge switch
+  // with two equal-cost uplinks should see a near-even split (the hash is
+  // mix64; an exact bound would overfit, but 40/60 catches a broken hash
+  // or an always-first-hop regression).
+  topo::FatTree ft = topo::build_fat_tree(4);
+  EcmpRouting routing(ft.topo.graph());
+  auto pairs = all_server_pairs(ft.topo);
+  Fib fib = compile_fib(ft.topo, routing, pairs);
+  auto [src, dst] = pairs[0];
+  graph::NodeId inter_pod_dst = 0;
+  bool found = false;
+  for (auto [s, d] : pairs)
+    if (s == src && fib.next_hops(src, d).size() >= 2) {
+      inter_pod_dst = d;
+      found = true;
+      break;
+    }
+  ASSERT_TRUE(found);
+  const auto& hops = fib.next_hops(src, inter_pod_dst);
+  std::map<graph::LinkId, int> hits;
+  const int sweep = 4000;
+  for (int flow = 0; flow < sweep; ++flow)
+    ++hits[fib.select(src, inter_pod_dst, static_cast<std::uint64_t>(flow))];
+  for (const auto& [link, count] : hits) {
+    double share = static_cast<double>(count) / sweep;
+    double even = 1.0 / static_cast<double>(hops.size());
+    EXPECT_GT(share, even - 0.1) << "link " << link;
+    EXPECT_LT(share, even + 0.1) << "link " << link;
+  }
+  EXPECT_EQ(hits.size(), hops.size());  // every hop gets traffic
 }
 
 TEST(VerifyFib, RuleCountsReasonableOnFatTree) {

@@ -127,5 +127,71 @@ TEST(PacketSim, MissingFibRouteThrows) {
                std::runtime_error);
 }
 
+// -- edge-case hardening (ISSUE 7 satellite) ---------------------------------
+
+TEST(PacketSim, NothingDeliveredReportsZeroStats) {
+  // Zero-packet flows are legal no-ops; with nothing injected every
+  // delay/FCT statistic is a defined 0.0 rather than NaN.
+  Fixture fx;
+  PacketSimulator sim(fx.ft.topo, fx.fib);
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 0, 0.0}});
+  EXPECT_EQ(stats.injected, 0u);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_delay, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99_delay, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_delay, 0.0);
+  EXPECT_DOUBLE_EQ(stats.fct_mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.fct_p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.fct_p99, 0.0);
+  EXPECT_DOUBLE_EQ(stats.fct_max, 0.0);
+  EXPECT_DOUBLE_EQ(stats.loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mark_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_queue, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_queue, 0.0);
+}
+
+TEST(PacketSim, InfiniteBuffersNeverDrop) {
+  // queue_packets = 0 is the documented infinite-buffer mode: even a
+  // severe incast cannot lose a packet, it only queues.
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.queue_packets = 0;
+  cfg.nic_rate = 100.0;
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  std::vector<PacketFlow> flows;
+  for (std::uint32_t s = 0; s < 8; ++s)
+    flows.push_back({s, fx.ft.server(3, 1, 1), 25, 0.0});
+  auto stats = sim.run(flows);
+  EXPECT_EQ(stats.injected, 200u);
+  EXPECT_EQ(stats.delivered, 200u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GT(stats.max_queue, 16.0);  // far beyond any finite default
+}
+
+TEST(PacketSim, SrcEqualsDstRejectedEvenAmongValidFlows) {
+  // Documented choice: src == dst flows are rejected (the fabric model has
+  // nothing to simulate), not silently delivered at zero hops.
+  Fixture fx;
+  PacketSimulator sim(fx.ft.topo, fx.fib);
+  EXPECT_THROW(sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(1, 0, 0), 1, 0.0},
+                        {5, 5, 1, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(PacketSim, FctTracksLastPacketOfEachFlow) {
+  Fixture fx;
+  PacketSimConfig cfg;
+  cfg.propagation_delay = 0.0;
+  cfg.nic_rate = 1.0;
+  PacketSimulator sim(fx.ft.topo, fx.fib, cfg);
+  // Intra-pod 2-hop path at matched rates: packet p is injected at p and
+  // delivered at p + 2, so a 5-packet flow started at 0 completes at 6.
+  auto stats = sim.run({{fx.ft.server(0, 0, 0), fx.ft.server(0, 1, 0), 5, 0.0}});
+  EXPECT_EQ(stats.delivered, 5u);
+  EXPECT_NEAR(stats.fct_mean, 6.0, 1e-9);
+  EXPECT_NEAR(stats.fct_p50, 6.0, 1e-9);
+  EXPECT_NEAR(stats.fct_max, 6.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace flattree::sim

@@ -74,6 +74,38 @@ TEST(ArgPeeler, LeavesUnknownFlagsForTheCaller) {
   EXPECT_STREQ(a.argv()[2], "--also-bogus=1");
 }
 
+TEST(ArgPeeler, DashedPacketFlagsPeelInBothValueForms) {
+  // The packet-bench flag family (ISSUE 7): multi-dash names must peel in
+  // both --name=value and --name value forms like any other flag.
+  bench::ArgPeeler peeler;
+  std::string queue, nic, prop;
+  peeler.add_string("--queue-packets", &queue, "queue capacity");
+  peeler.add_string("--nic-rate", &nic, "injection rate");
+  peeler.add_string("--prop-delay", &prop, "per-hop delay");
+
+  Argv a({"bench", "--queue-packets=32", "--nic-rate", "4.0", "--prop-delay=0.01"});
+  std::string error;
+  ASSERT_TRUE(peeler.peel(a.argc, a.argv(), &error)) << error;
+  EXPECT_EQ(queue, "32");
+  EXPECT_EQ(nic, "4.0");
+  EXPECT_EQ(prop, "0.01");
+  ASSERT_EQ(a.argc, 1);
+}
+
+TEST(ArgPeeler, PrefixFlagDoesNotSwallowLongerFlag) {
+  // --queue must not match --queue-packets (peeling is exact-name plus a
+  // value separator, not prefix matching).
+  bench::ArgPeeler peeler;
+  std::string queue;
+  peeler.add_string("--queue", &queue, "legacy name");
+  Argv a({"bench", "--queue-packets=32"});
+  std::string error;
+  ASSERT_TRUE(peeler.peel(a.argc, a.argv(), &error));
+  EXPECT_TRUE(queue.empty());
+  ASSERT_EQ(a.argc, 2);
+  EXPECT_STREQ(a.argv()[1], "--queue-packets=32");
+}
+
 TEST(ArgPeeler, UsageListsEveryFlag) {
   bench::ArgPeeler peeler;
   std::string a, b;
@@ -158,6 +190,26 @@ TEST(BenchFlags, BenchServiceEmitsSloJson) {
         "\"p99\"", "\"truncated_solves\"", "\"certified_solves\""})
     EXPECT_NE(doc.find(key), std::string::npos) << key;
   std::remove(json_path.c_str());
+}
+
+TEST(BenchFlags, BenchPacketUsesRenamedQueueFlag) {
+  std::string bin = std::string(FT_BENCH_DIR) + "/bench_packet";
+  if (!file_exists(bin)) GTEST_SKIP() << "bench binary not built: " << bin;
+
+  // The old --queue spelling is gone; --queue-packets and --prop-delay are
+  // the supported forms (ISSUE 7 satellite).
+  std::string err_path = testing::TempDir() + "bench_packet_badflag.txt";
+  EXPECT_NE(std::system((bin + " --k 4 --queue 8 > /dev/null 2> " + err_path).c_str()),
+            0);
+  std::string err = slurp(err_path);
+  EXPECT_NE(err.find("--queue-packets"), std::string::npos) << err;  // usage listing
+  EXPECT_NE(err.find("--prop-delay"), std::string::npos) << err;
+  std::remove(err_path.c_str());
+
+  std::string cmd = bin +
+                    " --k 4 --train 4 --queue-packets 8 --nic-rate 2.0"
+                    " --prop-delay 0.02 > /dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
 }
 
 }  // namespace

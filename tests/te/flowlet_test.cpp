@@ -1,0 +1,76 @@
+#include "te/flowlet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flattree::te {
+namespace {
+
+TEST(Flowlet, DisabledGapIsIdentity) {
+  FlowletTable off(0.0);
+  EXPECT_EQ(off.salt(7, 0.0), 7u);
+  EXPECT_EQ(off.salt(7, 100.0), 7u);  // even across huge gaps
+  EXPECT_EQ(off.switches(), 0u);
+  FlowletTable negative(-1.0);
+  EXPECT_EQ(negative.salt(7, 0.0), 7u);
+}
+
+TEST(Flowlet, FirstFlowletKeepsTheFlowId) {
+  FlowletTable table(1.0);
+  // Back-to-back packets stay in flowlet 0: enabling the feature changes
+  // nothing until a gap actually occurs.
+  EXPECT_EQ(table.salt(42, 0.0), 42u);
+  EXPECT_EQ(table.salt(42, 0.5), 42u);
+  EXPECT_EQ(table.salt(42, 1.4), 42u);  // gap 0.9 < 1.0
+  EXPECT_EQ(table.switches(), 0u);
+  EXPECT_EQ(table.flows(), 1u);
+}
+
+TEST(Flowlet, GapStartsNewFlowletWithNewSalt) {
+  FlowletTable table(1.0);
+  std::uint64_t first = table.salt(42, 0.0);
+  std::uint64_t second = table.salt(42, 2.0);  // gap 2.0 > 1.0
+  EXPECT_EQ(first, 42u);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(table.switches(), 1u);
+  // The new salt is sticky until the next gap.
+  EXPECT_EQ(table.salt(42, 2.5), second);
+  std::uint64_t third = table.salt(42, 10.0);
+  EXPECT_NE(third, second);
+  EXPECT_NE(third, first);
+  EXPECT_EQ(table.switches(), 2u);
+}
+
+TEST(Flowlet, DeterministicAcrossTables) {
+  FlowletTable a(0.5), b(0.5);
+  for (double t : {0.0, 0.2, 1.0, 1.1, 3.0, 3.2, 9.0})
+    EXPECT_EQ(a.salt(11, t), b.salt(11, t));
+  EXPECT_EQ(a.switches(), b.switches());
+}
+
+TEST(Flowlet, FlowsTrackedIndependently) {
+  FlowletTable table(1.0);
+  table.salt(1, 0.0);
+  table.salt(2, 0.0);
+  // Flow 1 pauses past the gap; flow 2 keeps sending.
+  table.salt(2, 0.9);
+  std::uint64_t s1 = table.salt(1, 5.0);
+  std::uint64_t s2 = table.salt(2, 1.5);
+  EXPECT_NE(s1, 1u);   // flow 1 re-hashed
+  EXPECT_EQ(s2, 2u);   // flow 2 still in flowlet 0
+  EXPECT_EQ(table.flows(), 2u);
+  EXPECT_EQ(table.switches(), 1u);
+}
+
+TEST(Flowlet, SaltsDifferAcrossFlowsAtSameIndex) {
+  // Two flows in flowlet 1 must not collapse onto the same salt (the salt
+  // mixes the flow id into the substream, not just the index).
+  FlowletTable table(1.0);
+  table.salt(5, 0.0);
+  table.salt(6, 0.0);
+  std::uint64_t s5 = table.salt(5, 3.0);
+  std::uint64_t s6 = table.salt(6, 3.0);
+  EXPECT_NE(s5, s6);
+}
+
+}  // namespace
+}  // namespace flattree::te

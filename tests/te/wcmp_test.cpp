@@ -1,0 +1,131 @@
+#include "te/wcmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/flat_tree.hpp"
+#include "mcf/commodity.hpp"
+#include "mcf/garg_koenemann.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/ksp_routing.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace flattree::te {
+namespace {
+
+std::uint64_t weight_sum(const std::vector<std::uint32_t>& w) {
+  return std::accumulate(w.begin(), w.end(), std::uint64_t{0});
+}
+
+TEST(QuantizeWeights, SumsToBudgetAndTracksShares) {
+  auto w = quantize_weights({3.0, 1.0}, 64);
+  EXPECT_EQ(w, (std::vector<std::uint32_t>{48, 16}));
+  w = quantize_weights({1.0, 1.0, 1.0}, 64);
+  EXPECT_EQ(weight_sum(w), 64u);
+  // Largest remainder: 64/3 = 21.33 each; the leftover unit goes to the
+  // lowest index on the remainder tie.
+  EXPECT_EQ(w, (std::vector<std::uint32_t>{22, 21, 21}));
+}
+
+TEST(QuantizeWeights, ZeroShareStaysZero) {
+  auto w = quantize_weights({5.0, 0.0, 3.0}, 64);
+  EXPECT_EQ(weight_sum(w), 64u);
+  EXPECT_EQ(w[1], 0u);
+  // Negative shares are clamped to zero, not wrapped.
+  w = quantize_weights({5.0, -2.0, 3.0}, 16);
+  EXPECT_EQ(weight_sum(w), 16u);
+  EXPECT_EQ(w[1], 0u);
+}
+
+TEST(QuantizeWeights, TinyShareNeverRoundsAllToZero) {
+  // One dominant and one tiny share at a small budget: the tiny share may
+  // round to zero, but the total must still hit the budget exactly.
+  auto w = quantize_weights({1000.0, 1e-9}, 4);
+  EXPECT_EQ(weight_sum(w), 4u);
+  EXPECT_EQ(w[0], 4u);
+}
+
+TEST(QuantizeWeights, ErrorCases) {
+  EXPECT_THROW(quantize_weights({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_weights({0.0, 0.0}, 64), std::invalid_argument);
+  EXPECT_THROW(quantize_weights({-1.0}, 64), std::invalid_argument);
+}
+
+TEST(CompileWcmpPaths, EcmpMultiplicitiesOnFatTree) {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  routing::EcmpRouting ecmp(ft.topo.graph());
+  auto pairs = routing::all_server_pairs(ft.topo);
+  WeightedFib fib = compile_wcmp_paths(ft.topo, ecmp, pairs);
+  // Every entry conserves the budget and carries no zero-weight rules
+  // (verify_weighted_fib checks both plus loop-freedom).
+  auto v = verify_weighted_fib(ft.topo, fib, pairs);
+  EXPECT_TRUE(v.ok) << v.error;
+  // ECMP on a fat-tree is symmetric: an edge switch splits its upward
+  // entries evenly over both aggregation links.
+  EXPECT_GT(fib.rule_count(), fib.entry_count());
+}
+
+TEST(CompileWcmpPaths, DeterministicAcrossRebuilds) {
+  core::FlatTreeConfig cfg;
+  cfg.k = 6;
+  core::FlatTreeNetwork net(cfg);
+  topo::Topology t = net.build(core::Mode::GlobalRandom);
+  auto pairs = routing::all_server_pairs(t);
+  routing::EcmpRouting e1(t.graph());
+  routing::EcmpRouting e2(t.graph());
+  WeightedFib a = compile_wcmp_paths(t, e1, pairs);
+  WeightedFib b = compile_wcmp_paths(t, e2, pairs);
+  ASSERT_EQ(a.rule_count(), b.rule_count());
+  ASSERT_EQ(a.total_weight(), b.total_weight());
+  for (NodeId at = 0; at < t.switch_count(); ++at)
+    for (NodeId dst : a.destinations(at)) {
+      const auto& ha = a.next_hops(at, dst);
+      const auto& hb = b.next_hops(at, dst);
+      ASSERT_EQ(ha.size(), hb.size());
+      for (std::size_t i = 0; i < ha.size(); ++i) {
+        EXPECT_EQ(ha[i].link, hb[i].link);
+        EXPECT_EQ(ha[i].weight, hb[i].weight);
+      }
+    }
+}
+
+TEST(CompileWcmpMcf, SolverSplitsProgramTheFib) {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  auto pairs = routing::all_server_pairs(ft.topo);
+  // Drive the compiler from a real GK solution over a permutation-ish
+  // demand (server s -> server s+8 across pods).
+  std::vector<mcf::ServerDemand> demands;
+  for (std::uint32_t s = 0; s < 8; ++s)
+    demands.push_back({s, s + 8, 1.0});
+  auto commodities = mcf::aggregate_to_switches(ft.topo, demands);
+  mcf::McfOptions opt;
+  opt.epsilon = 0.2;
+  auto r = mcf::max_concurrent_flow(ft.topo.graph(), commodities, opt);
+  ASSERT_EQ(r.arc_flow.size(), ft.topo.graph().link_count() * 2);
+  WeightedFib fib = compile_wcmp_mcf(ft.topo, pairs, r.arc_flow);
+  auto v = verify_weighted_fib(ft.topo, fib, pairs);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(CompileWcmpMcf, ZeroFlowFallsBackToEvenSplit) {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  auto pairs = routing::all_server_pairs(ft.topo);
+  // All-zero arc flows: every entry falls back to the even ECMP split but
+  // still conserves the budget and stays loop-free.
+  std::vector<double> arc_flow(ft.topo.graph().link_count() * 2, 0.0);
+  WeightedFib fib = compile_wcmp_mcf(ft.topo, pairs, arc_flow);
+  auto v = verify_weighted_fib(ft.topo, fib, pairs);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_GT(fib.entry_count(), 0u);
+}
+
+TEST(CompileWcmpMcf, ArcFlowSizeMismatchRejected) {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  auto pairs = routing::all_server_pairs(ft.topo);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(compile_wcmp_mcf(ft.topo, pairs, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flattree::te

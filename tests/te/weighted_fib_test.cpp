@@ -1,0 +1,160 @@
+#include "te/weighted_fib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/ecmp.hpp"
+#include "te/wcmp.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace flattree::te {
+namespace {
+
+/// 0 -- 1 -- 2 line with servers at the ends (same shape as the
+/// routing::Fib tests use).
+topo::Topology line3() {
+  topo::Topology t;
+  for (int i = 0; i < 3; ++i) t.add_switch(topo::SwitchKind::Edge, 0, i, 4);
+  t.add_link(0, 1, topo::LinkOrigin::Random);
+  t.add_link(1, 2, topo::LinkOrigin::Random);
+  t.add_server(0);
+  t.add_server(2);
+  return t;
+}
+
+/// Diamond 0 -> {1, 2} -> 3 with servers at 0 and 3 (two equal-cost paths).
+topo::Topology diamond() {
+  topo::Topology t;
+  for (int i = 0; i < 4; ++i) t.add_switch(topo::SwitchKind::Edge, 0, i, 4);
+  t.add_link(0, 1, topo::LinkOrigin::Random);  // link 0
+  t.add_link(0, 2, topo::LinkOrigin::Random);  // link 1
+  t.add_link(1, 3, topo::LinkOrigin::Random);  // link 2
+  t.add_link(2, 3, topo::LinkOrigin::Random);  // link 3
+  t.add_server(0);
+  t.add_server(3);
+  return t;
+}
+
+TEST(WeightedFib, AddAccumulatesAndLooksUp) {
+  WeightedFib fib(3, 64);
+  fib.add_route(0, 2, 0, 40);
+  fib.add_route(0, 2, 0, 24);  // tops up the same rule
+  fib.add_route(1, 2, 1, 64);
+  ASSERT_EQ(fib.next_hops(0, 2).size(), 1u);
+  EXPECT_EQ(fib.next_hops(0, 2)[0].weight, 64u);
+  EXPECT_TRUE(fib.next_hops(2, 0).empty());
+  EXPECT_EQ(fib.rule_count(), 2u);
+  EXPECT_EQ(fib.entry_count(), 2u);
+  EXPECT_EQ(fib.total_weight(), 128u);
+  EXPECT_EQ(fib.max_rules_per_switch(), 1u);
+  EXPECT_EQ(fib.weight_budget(), 64u);
+}
+
+TEST(WeightedFib, ZeroBudgetRejected) {
+  EXPECT_THROW(WeightedFib(3, 0), std::invalid_argument);
+}
+
+TEST(WeightedFib, DestinationsSortedPerSwitch) {
+  WeightedFib fib(2, 64);
+  fib.add_route(0, 9, 0, 64);
+  fib.add_route(0, 3, 0, 64);
+  fib.add_route(0, 7, 0, 64);
+  EXPECT_EQ(fib.destinations(0), (std::vector<NodeId>{3, 7, 9}));
+  EXPECT_TRUE(fib.destinations(1).empty());
+}
+
+TEST(WeightedFib, SelectDeterministicSkipsZeroAndThrowsOnMiss) {
+  WeightedFib fib(3, 64);
+  fib.add_route(0, 2, 0, 0);   // zero-weight rule never selected
+  fib.add_route(0, 2, 1, 64);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(fib.select(0, 2, id), 1u);
+    EXPECT_EQ(fib.select(0, 2, id), fib.select(0, 2, id));
+  }
+  EXPECT_THROW(fib.select(1, 2, 0), std::runtime_error);
+  WeightedFib zeros(3, 64);
+  zeros.add_route(0, 2, 0, 0);
+  EXPECT_THROW(zeros.select(0, 2, 0), std::runtime_error);
+}
+
+TEST(WeightedFib, SelectTracksWeightsOverFlowSweep) {
+  WeightedFib fib(4, 64);
+  fib.add_route(0, 3, 0, 48);  // 3:1 split
+  fib.add_route(0, 3, 1, 16);
+  std::map<graph::LinkId, int> hits;
+  const int sweep = 20000;
+  for (int id = 0; id < sweep; ++id)
+    ++hits[fib.select(0, 3, static_cast<std::uint64_t>(id))];
+  double heavy = static_cast<double>(hits[0]) / sweep;
+  EXPECT_NEAR(heavy, 0.75, 0.02);  // mix64 is a good hash; 2% slack is ample
+  EXPECT_NEAR(static_cast<double>(hits[1]) / sweep, 0.25, 0.02);
+}
+
+TEST(VerifyWeightedFib, CompiledFatTreePasses) {
+  topo::FatTree ft = topo::build_fat_tree(4);
+  routing::EcmpRouting ecmp(ft.topo.graph());
+  auto pairs = routing::all_server_pairs(ft.topo);
+  WeightedFib fib = compile_wcmp_paths(ft.topo, ecmp, pairs);
+  WeightedFibVerification v = verify_weighted_fib(ft.topo, fib, pairs);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.pairs_checked, pairs.size());
+  EXPECT_LE(v.max_walk_hops, 4u);  // fat-tree switch diameter
+}
+
+TEST(VerifyWeightedFib, DetectsBlackhole) {
+  topo::Topology t = line3();
+  WeightedFib fib(3, 64);
+  fib.add_route(0, 2, 0, 64);  // installed at 0 but missing at 1
+  auto v = verify_weighted_fib(t, fib, {{0, 2}});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("blackhole"), std::string::npos);
+}
+
+TEST(VerifyWeightedFib, DetectsZeroWeightRule) {
+  topo::Topology t = line3();
+  WeightedFib fib(3, 64);
+  fib.add_route(0, 2, 0, 64);
+  fib.add_route(1, 2, 1, 64);
+  fib.add_route(1, 2, 0, 0);  // corrupt: should have been pruned
+  auto v = verify_weighted_fib(t, fib, {{0, 2}});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("zero-weight"), std::string::npos);
+}
+
+TEST(VerifyWeightedFib, DetectsWeightConservationViolation) {
+  topo::Topology t = diamond();
+  WeightedFib fib(4, 64);
+  fib.add_route(0, 3, 0, 32);
+  fib.add_route(0, 3, 1, 31);  // sums to 63, budget is 64
+  fib.add_route(1, 3, 2, 64);
+  fib.add_route(2, 3, 3, 64);
+  auto v = verify_weighted_fib(t, fib, {{0, 3}});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("conservation"), std::string::npos);
+}
+
+TEST(VerifyWeightedFib, DetectsLoop) {
+  topo::Topology t = line3();
+  WeightedFib fib(3, 64);
+  fib.add_route(0, 2, 0, 64);
+  fib.add_route(1, 2, 0, 64);  // bounces back to 0
+  auto v = verify_weighted_fib(t, fib, {{0, 2}});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("loop"), std::string::npos);
+}
+
+TEST(VerifyWeightedFib, HopLimitEnforced) {
+  topo::Topology t = line3();
+  WeightedFib fib(3, 64);
+  fib.add_route(0, 2, 0, 64);
+  fib.add_route(1, 2, 1, 64);
+  auto relaxed = verify_weighted_fib(t, fib, {{0, 2}});
+  EXPECT_TRUE(relaxed.ok) << relaxed.error;
+  auto tight = verify_weighted_fib(t, fib, {{0, 2}}, /*hop_limit=*/1);
+  EXPECT_FALSE(tight.ok);
+  EXPECT_NE(tight.error.find("exceeds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flattree::te

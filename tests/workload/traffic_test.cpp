@@ -120,5 +120,43 @@ TEST(Pattern, ToStringCoverage) {
   EXPECT_STREQ(to_string(Pattern::AllToAll), "all-to-all");
 }
 
+TEST(IncastPattern, DistinctSourcesOneSinkNoSelfPairs) {
+  auto demands = incast_pattern(64, 12, /*seed=*/5);
+  ASSERT_EQ(demands.size(), 12u);
+  ServerId sink = demands[0].dst;
+  std::set<ServerId> srcs;
+  for (const auto& d : demands) {
+    EXPECT_EQ(d.dst, sink);
+    EXPECT_NE(d.src, sink);
+    EXPECT_LT(d.src, 64u);
+    EXPECT_DOUBLE_EQ(d.demand, 1.0);
+    srcs.insert(d.src);
+  }
+  EXPECT_EQ(srcs.size(), 12u);  // sources are distinct
+}
+
+TEST(IncastPattern, PureFunctionOfSeed) {
+  auto a = incast_pattern(64, 12, 5);
+  auto b = incast_pattern(64, 12, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+  // A different seed moves the sink or the source set.
+  auto c = incast_pattern(64, 12, 6);
+  bool differs = c[0].dst != a[0].dst;
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) differs = a[i].src != c[i].src;
+  EXPECT_TRUE(differs);
+}
+
+TEST(IncastPattern, FullFanInAndErrorCases) {
+  auto all = incast_pattern(16, 15, 3);  // every other server sends
+  EXPECT_EQ(all.size(), 15u);
+  EXPECT_THROW(incast_pattern(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(incast_pattern(16, 0, 0), std::invalid_argument);
+  EXPECT_THROW(incast_pattern(16, 16, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace flattree::workload
