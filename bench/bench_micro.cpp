@@ -25,6 +25,8 @@
 #include "core/controller.hpp"
 #include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "graph/multi_bfs.hpp"
 #include "obs/obs.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "topo/apl.hpp"
@@ -162,6 +164,22 @@ struct ExecEntry {
   bool identical;  ///< result bit-identical to the threads=1 run
 };
 
+// Batched-vs-scalar APL on fat-trees: deterministic operation counters are
+// the headline (wall-clock on the 1-core container is untrustworthy).
+// `scalar_settles` counts nodes settled one BFS per source;
+// `batched_settles` counts frontier node expansions — one expansion
+// advances up to 64 sources at once, which is exactly the batching win.
+struct BitBfsEntry {
+  std::uint32_t k;
+  double scalar_ms;
+  double batched_ms;
+  std::uint64_t scalar_settles;
+  std::uint64_t batched_settles;
+  std::uint64_t words_touched;
+  double settle_ratio;  ///< scalar_settles / batched_settles
+  bool identical;       ///< batched APL bitwise equal to the scalar kernel
+};
+
 int run_exec_sweep(const std::string& path) {
   const std::vector<unsigned> thread_counts{1, 2, 4, 8};
   std::vector<ExecEntry> entries;
@@ -208,6 +226,37 @@ int run_exec_sweep(const std::string& path) {
   }
   exec::set_global_threads(1);
 
+  // Bit-parallel batched BFS vs one-BFS-per-source, same weighted-APL
+  // workload and bitwise-compared results. k=48/64 only run the batched
+  // engine within reasonable time because of it; the scalar baseline is
+  // still measured to keep the comparison honest at every size.
+  std::vector<BitBfsEntry> bitbfs;
+  for (std::uint32_t k : {16u, 24u, 48u, 64u}) {
+    topo::FatTree ft = topo::build_fat_tree(k);
+    BitBfsEntry e{};
+    e.k = k;
+    graph::AplResult scalar{};
+    graph::reset_scalar_bfs_settled();
+    e.scalar_ms = wall_ms([&] {
+      scalar = graph::weighted_apl_scalar(ft.topo.graph(), ft.topo.servers_per_switch(),
+                                          /*offset=*/2, /*same_node_dist=*/2);
+    });
+    e.scalar_settles = graph::scalar_bfs_settled() / 3;  // wall_ms runs 3 reps
+    graph::AplResult batched{};
+    graph::reset_multi_bfs_stats();
+    e.batched_ms = wall_ms([&] { batched = topo::server_apl(ft.topo); });
+    graph::MultiBfsStats stats = graph::multi_bfs_stats();
+    e.batched_settles = stats.node_expansions / 3;
+    e.words_touched = stats.words_touched / 3;
+    e.settle_ratio = e.batched_settles
+                         ? static_cast<double>(e.scalar_settles) /
+                               static_cast<double>(e.batched_settles)
+                         : 0.0;
+    e.identical = scalar.average == batched.average && scalar.pairs == batched.pairs &&
+                  scalar.max_dist == batched.max_dist;
+    bitbfs.push_back(e);
+  }
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
@@ -223,11 +272,25 @@ int run_exec_sweep(const std::string& path) {
                  e.bench.c_str(), e.k, e.threads, e.ms, e.speedup,
                  e.identical ? "true" : "false", i + 1 < entries.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"bitbfs\": [\n");
+  for (std::size_t i = 0; i < bitbfs.size(); ++i) {
+    const BitBfsEntry& e = bitbfs[i];
+    std::fprintf(f,
+                 "    {\"k\": %u, \"scalar_ms\": %.3f, \"batched_ms\": %.3f, "
+                 "\"scalar_settles\": %llu, \"batched_settles\": %llu, "
+                 "\"words_touched\": %llu, \"settle_ratio\": %.2f, \"identical\": %s}%s\n",
+                 e.k, e.scalar_ms, e.batched_ms,
+                 static_cast<unsigned long long>(e.scalar_settles),
+                 static_cast<unsigned long long>(e.batched_settles),
+                 static_cast<unsigned long long>(e.words_touched), e.settle_ratio,
+                 e.identical ? "true" : "false", i + 1 < bitbfs.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size() + bitbfs.size());
   bool all_identical = true;
   for (const ExecEntry& e : entries) all_identical = all_identical && e.identical;
+  for (const BitBfsEntry& e : bitbfs) all_identical = all_identical && e.identical;
   std::printf("determinism across thread counts: %s\n", all_identical ? "OK" : "BROKEN");
   return all_identical ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "check/check.hpp"
 #include "core/flat_tree.hpp"
 #include "exec/parallel_for.hpp"
+#include "graph/multi_bfs.hpp"
 #include "inc/mcf_warm.hpp"
 #include "mcf/garg_koenemann.hpp"
 #include "obs/obs.hpp"
@@ -56,8 +57,6 @@ inline void add_selfcheck_flag(util::CliParser& cli, bool* flag) {
                "any violation)");
 }
 
-inline void apply_selfcheck(bool on) { selfcheck_enabled() = on; }
-
 /// Records a report: prints violations (single fwrite-backed fprintf per
 /// report, safe from pool workers) and accumulates the count.
 inline void selfcheck_record(const check::Report& report, const char* what) {
@@ -66,6 +65,25 @@ inline void selfcheck_record(const check::Report& report, const char* what) {
   std::string text = report.to_string();
   std::fprintf(stderr, "selfcheck[%s]: %zu violation(s)\n%s\n", what,
                report.violations.size(), text.c_str());
+}
+
+/// Applies the --selfcheck flag. Besides flipping the process-wide switch,
+/// this arms the batched-BFS audit hook: graph::MultiSourceBfs hands the
+/// first distance row of every batch to check::certify_distances, so the
+/// bit-parallel engine's output is certified on sampled sources during the
+/// actual bench run (ft_graph itself cannot depend on ft_check — the hook
+/// inverts the dependency from up here, where both layers are visible).
+inline void apply_selfcheck(bool on) {
+  selfcheck_enabled() = on;
+  if (on) {
+    graph::set_distance_audit_hook(
+        [](const graph::Graph& g, graph::NodeId source,
+           const std::vector<std::uint32_t>& dist) {
+          selfcheck_record(check::certify_distances(g, source, dist), "bitbfs");
+        });
+  } else {
+    graph::set_distance_audit_hook(nullptr);
+  }
 }
 
 /// Validates a topology under --selfcheck (no-op otherwise).

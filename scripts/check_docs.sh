@@ -4,7 +4,7 @@
 #   1. Markdown link integrity — every intra-repo link target in the
 #      checked .md files exists on disk (external http(s) links and pure
 #      anchors are skipped).
-#   2. Header doc coverage — every public header under src/graph/,
+#   2. Header doc coverage — every public header under src/graph/, src/inc/,
 #      src/mcf/, src/fault/, src/svc/ and src/te/ has a file-level
 #      comment, and every namespace-scope declaration (struct/class/enum/
 #      free function) is immediately preceded by a doc comment.
@@ -57,7 +57,7 @@ for md in MD_FILES:
            not os.path.exists(os.path.join(root, rel)):
             fail(f"{md}: broken link -> {target}")
 
-# -- 2. header doc coverage (src/graph + src/mcf + src/fault + src/svc) -----
+# -- 2. header doc coverage (HEADER_DIRS below) ------------------------------
 
 DECL_RE = re.compile(
     r"^(struct|class|enum)\s+\w+"          # type declarations
@@ -76,7 +76,7 @@ def covered(lines, i):
     prev = lines[j].strip()
     return prev.startswith(("//", "///", "/*", "*", "*/")) or prev.endswith("*/")
 
-HEADER_DIRS = ["src/graph", "src/mcf", "src/fault", "src/svc", "src/te"]
+HEADER_DIRS = ["src/graph", "src/inc", "src/mcf", "src/fault", "src/svc", "src/te"]
 for d in HEADER_DIRS:
     for name in sorted(os.listdir(os.path.join(root, d))):
         if not name.endswith(".hpp"):

@@ -3,13 +3,21 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <atomic>
+
 #include "exec/parallel_for.hpp"
+#include "graph/multi_bfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace flattree::graph {
 
 namespace {
+
+// Always-on settle total for the scalar kernels (one relaxed add per BFS
+// call): the deterministic baseline the bench ops sweep compares the
+// batched engine against.
+std::atomic<std::uint64_t> g_scalar_settled{0};
 
 // Per-BFS-call accounting only (never per node/edge): one branch per
 // source, invisible on the disabled path, negligible when enabled.
@@ -42,6 +50,7 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
       }
     }
   }
+  g_scalar_settled.fetch_add(queue.size(), std::memory_order_relaxed);
   note_bfs(queue.size());
   return dist;
 }
@@ -54,6 +63,7 @@ std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
     throw std::invalid_argument("bfs_distances_filtered: source not allowed");
   std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
   std::vector<NodeId> queue;
+  queue.reserve(g.node_count());
   dist[source] = 0;
   queue.push_back(source);
   for (std::size_t head = 0; head < queue.size(); ++head) {
@@ -65,16 +75,34 @@ std::vector<std::uint32_t> bfs_distances_filtered(const Graph& g, NodeId source,
       }
     }
   }
+  g_scalar_settled.fetch_add(queue.size(), std::memory_order_relaxed);
   note_bfs(queue.size());
   return dist;
 }
 
+std::uint64_t scalar_bfs_settled() {
+  return g_scalar_settled.load(std::memory_order_relaxed);
+}
+
+void reset_scalar_bfs_settled() { g_scalar_settled.store(0, std::memory_order_relaxed); }
+
 std::vector<std::vector<std::uint32_t>> apsp_distances(const Graph& g) {
   OBS_SPAN("graph.apsp");
-  std::vector<std::vector<std::uint32_t>> dist(g.node_count());
-  exec::parallel_for(g.node_count(), [&](std::size_t u) {
-    dist[u] = bfs_distances(g, static_cast<NodeId>(u));
-  });
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<std::uint32_t>> dist(n);
+  MultiBfsPool pool(g);
+  exec::parallel_for_chunked(n, kBfsBatchWidth,
+                             [&](std::size_t begin, std::size_t end, std::size_t) {
+                               MultiBfsLease engine(pool);
+                               std::vector<NodeId> batch(end - begin);
+                               for (std::size_t s = begin; s < end; ++s)
+                                 batch[s - begin] = static_cast<NodeId>(s);
+                               engine->run(batch.data(), batch.size());
+                               for (std::size_t s = begin; s < end; ++s) {
+                                 auto row = engine->distances(s - begin);
+                                 dist[s].assign(row.begin(), row.end());
+                               }
+                             });
   return dist;
 }
 

@@ -4,6 +4,7 @@
 
 #include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
+#include "graph/multi_bfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -16,7 +17,9 @@ obs::Counter c_apl_sources("graph.apl.sources_visited");
 obs::Counter c_apl_pairs("graph.apl.pairs");
 
 /// Per-source partial of the APL accumulation; combined in source order so
-/// the long-double sum is bit-identical at any thread count.
+/// the long-double sum is bit-identical at any thread count — and, because
+/// identity partials add exactly 0.0L, bit-identical between the scalar
+/// per-source fold and the batched per-eligible-source fold.
 struct AplPartial {
   long double total = 0.0L;
   std::uint64_t pairs = 0;
@@ -30,56 +33,37 @@ struct AplPartial {
   }
 };
 
-AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
-                         const std::vector<char>* member, bool confine_paths,
-                         std::uint32_t offset, std::uint32_t same_node_dist) {
-  if (weight.size() != g.node_count())
-    throw std::invalid_argument("weighted_apl: weight size mismatch");
+/// Accumulates one source's contribution given its distance row. Shared by
+/// the scalar and batched engines so the long-double accumulation order
+/// within a source is identical by construction: same-node pairs first,
+/// then targets v > u ascending.
+template <typename DistRow>
+AplPartial source_partial(const Graph& g, const std::vector<std::uint32_t>& weight,
+                          const std::vector<char>* member, NodeId u, const DistRow& dist,
+                          std::uint32_t offset, std::uint32_t same_node_dist) {
+  AplPartial part;
+  std::uint64_t wu = weight[u];
+  if (wu >= 2) {
+    std::uint64_t p = wu * (wu - 1) / 2;
+    part.total += static_cast<long double>(p) * same_node_dist;
+    part.pairs += p;
+    part.max_dist = std::max(part.max_dist, same_node_dist);
+  }
+  for (NodeId v = u + 1; v < g.node_count(); ++v) {
+    if (weight[v] == 0) continue;
+    if (member != nullptr && !(*member)[v]) continue;
+    if (dist[v] == kUnreachable)
+      throw std::runtime_error("weighted_apl: weighted pair disconnected");
+    std::uint64_t p = wu * weight[v];
+    std::uint32_t d = dist[v] + offset;
+    part.total += static_cast<long double>(p) * d;
+    part.pairs += p;
+    part.max_dist = std::max(part.max_dist, d);
+  }
+  return part;
+}
 
-  OBS_SPAN("graph.apl");
-  const std::size_t n = g.node_count();
-  // Unordered pairs: each source u contributes targets with a larger id,
-  // plus its same-node pairs once. One BFS per weighted source, fanned out
-  // over the pool; per-source partials reduce in source order.
-  AplPartial sum = exec::parallel_reduce(
-      n, /*grain=*/1, AplPartial{},
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        AplPartial part;
-        for (std::size_t s = begin; s < end; ++s) {
-          NodeId u = static_cast<NodeId>(s);
-          if (weight[u] == 0) continue;
-          if (member != nullptr && !(*member)[u]) continue;
-          c_apl_sources.inc();
-          // Same-node server pairs.
-          std::uint64_t wu = weight[u];
-          if (wu >= 2) {
-            std::uint64_t p = wu * (wu - 1) / 2;
-            part.total += static_cast<long double>(p) * same_node_dist;
-            part.pairs += p;
-            part.max_dist = std::max(part.max_dist, same_node_dist);
-          }
-          std::vector<std::uint32_t> dist =
-              confine_paths && member != nullptr ? bfs_distances_filtered(g, u, *member)
-                                                 : bfs_distances(g, u);
-          for (NodeId v = u + 1; v < g.node_count(); ++v) {
-            if (weight[v] == 0) continue;
-            if (member != nullptr && !(*member)[v]) continue;
-            if (dist[v] == kUnreachable)
-              throw std::runtime_error("weighted_apl: weighted pair disconnected");
-            std::uint64_t p = wu * weight[v];
-            std::uint32_t d = dist[v] + offset;
-            part.total += static_cast<long double>(p) * d;
-            part.pairs += p;
-            part.max_dist = std::max(part.max_dist, d);
-          }
-        }
-        return part;
-      },
-      [](AplPartial acc, AplPartial part) {
-        acc += part;
-        return acc;
-      });
-
+AplResult finish_apl(const AplPartial& sum) {
   AplResult r;
   r.pairs = sum.pairs;
   r.max_dist = sum.max_dist;
@@ -90,11 +74,138 @@ AplResult accumulate_apl(const Graph& g, const std::vector<std::uint32_t>& weigh
   return r;
 }
 
+/// Reference engine: one scalar BFS per weighted source, per-source
+/// partials reduced in source order (grain 1).
+AplResult accumulate_apl_scalar(const Graph& g, const std::vector<std::uint32_t>& weight,
+                                const std::vector<char>* member, bool confine_paths,
+                                std::uint32_t offset, std::uint32_t same_node_dist) {
+  if (weight.size() != g.node_count())
+    throw std::invalid_argument("weighted_apl: weight size mismatch");
+
+  OBS_SPAN("graph.apl");
+  const std::size_t n = g.node_count();
+  AplPartial sum = exec::parallel_reduce(
+      n, /*grain=*/1, AplPartial{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        AplPartial part;
+        for (std::size_t s = begin; s < end; ++s) {
+          NodeId u = static_cast<NodeId>(s);
+          if (weight[u] == 0) continue;
+          if (member != nullptr && !(*member)[u]) continue;
+          c_apl_sources.inc();
+          std::vector<std::uint32_t> dist =
+              confine_paths && member != nullptr ? bfs_distances_filtered(g, u, *member)
+                                                 : bfs_distances(g, u);
+          part += source_partial(g, weight, member, u, dist, offset, same_node_dist);
+        }
+        return part;
+      },
+      [](AplPartial acc, AplPartial part) {
+        acc += part;
+        return acc;
+      });
+  return finish_apl(sum);
+}
+
+/// Production engine: eligible sources packed into 64-wide MultiSourceBfs
+/// batches fanned out over the pool. Per-source partials land in a dense
+/// array and are folded sequentially in ascending source order afterwards —
+/// the same long-double association as the scalar grain-1 reduce (identity
+/// partials of ineligible sources add exactly 0.0L there), so the result is
+/// bitwise-identical to accumulate_apl_scalar at any thread count.
+AplResult accumulate_apl_batched(const Graph& g, const std::vector<std::uint32_t>& weight,
+                                 const std::vector<char>* member, bool confine_paths,
+                                 std::uint32_t offset, std::uint32_t same_node_dist) {
+  if (weight.size() != g.node_count())
+    throw std::invalid_argument("weighted_apl: weight size mismatch");
+
+  OBS_SPAN("graph.apl");
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> sources;
+  sources.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (weight[u] == 0) continue;
+    if (member != nullptr && !(*member)[u]) continue;
+    sources.push_back(u);
+  }
+
+  const std::vector<char>* mask = confine_paths && member != nullptr ? member : nullptr;
+  std::vector<AplPartial> partials(sources.size());
+  MultiBfsPool pool(g);
+  exec::parallel_for_chunked(
+      sources.size(), kBfsBatchWidth,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        MultiBfsLease engine(pool);
+        engine->run(sources.data() + begin, end - begin, mask);
+        for (std::size_t i = begin; i < end; ++i) {
+          c_apl_sources.inc();
+          partials[i] = source_partial(g, weight, member, sources[i],
+                                       engine->distances(i - begin), offset,
+                                       same_node_dist);
+        }
+      });
+
+  AplPartial sum;
+  for (const AplPartial& part : partials) sum += part;
+  return finish_apl(sum);
+}
+
+/// Unweighted APL partials, batched, folded in source order. Unreachable
+/// pairs are skipped and counted (the documented policy).
+UnweightedAplResult accumulate_unweighted(const Graph& g) {
+  struct Partial {
+    long double total = 0.0L;
+    std::uint64_t pairs = 0;
+    std::uint64_t unreachable = 0;
+  };
+  const std::size_t n = g.node_count();
+  std::vector<Partial> partials(n);
+  MultiBfsPool pool(g);
+  exec::parallel_for_chunked(n, kBfsBatchWidth,
+                             [&](std::size_t begin, std::size_t end, std::size_t) {
+                               MultiBfsLease engine(pool);
+                               std::vector<NodeId> batch(end - begin);
+                               for (std::size_t s = begin; s < end; ++s)
+                                 batch[s - begin] = static_cast<NodeId>(s);
+                               engine->run(batch.data(), batch.size());
+                               for (std::size_t s = begin; s < end; ++s) {
+                                 auto dist = engine->distances(s - begin);
+                                 Partial part;
+                                 for (NodeId v = static_cast<NodeId>(s) + 1; v < n; ++v) {
+                                   if (dist[v] == kUnreachable) {
+                                     ++part.unreachable;
+                                     continue;
+                                   }
+                                   part.total += dist[v];
+                                   ++part.pairs;
+                                 }
+                                 partials[s] = part;
+                               }
+                             });
+  Partial sum;
+  for (const Partial& part : partials) {
+    sum.total += part.total;
+    sum.pairs += part.pairs;
+    sum.unreachable += part.unreachable;
+  }
+  UnweightedAplResult r;
+  r.pairs = sum.pairs;
+  r.unreachable_pairs = sum.unreachable;
+  r.average = sum.pairs ? static_cast<double>(sum.total / static_cast<long double>(sum.pairs))
+                        : 0.0;
+  return r;
+}
+
 }  // namespace
 
 AplResult weighted_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
                        std::uint32_t offset, std::uint32_t same_node_dist) {
-  return accumulate_apl(g, weight, nullptr, false, offset, same_node_dist);
+  return accumulate_apl_batched(g, weight, nullptr, false, offset, same_node_dist);
+}
+
+AplResult weighted_apl_scalar(const Graph& g, const std::vector<std::uint32_t>& weight,
+                              std::uint32_t offset, std::uint32_t same_node_dist) {
+  return accumulate_apl_scalar(g, weight, nullptr, false, offset, same_node_dist);
 }
 
 AplResult weighted_apl_subset(const Graph& g, const std::vector<std::uint32_t>& weight,
@@ -102,54 +213,47 @@ AplResult weighted_apl_subset(const Graph& g, const std::vector<std::uint32_t>& 
                               std::uint32_t offset, std::uint32_t same_node_dist) {
   if (member.size() != g.node_count())
     throw std::invalid_argument("weighted_apl_subset: member mask size mismatch");
-  return accumulate_apl(g, weight, &member, confine_paths, offset, same_node_dist);
+  return accumulate_apl_batched(g, weight, &member, confine_paths, offset, same_node_dist);
 }
 
-double unweighted_apl(const Graph& g) {
-  struct Partial {
-    long double total = 0.0L;
-    std::uint64_t pairs = 0;
-  };
-  Partial sum = exec::parallel_reduce(
-      g.node_count(), /*grain=*/1, Partial{},
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        Partial part;
-        for (std::size_t s = begin; s < end; ++s) {
-          NodeId u = static_cast<NodeId>(s);
-          auto dist = bfs_distances(g, u);
-          for (NodeId v = u + 1; v < g.node_count(); ++v) {
-            if (dist[v] == kUnreachable) continue;
-            part.total += dist[v];
-            ++part.pairs;
-          }
-        }
-        return part;
-      },
-      [](Partial acc, Partial part) {
-        acc.total += part.total;
-        acc.pairs += part.pairs;
-        return acc;
-      });
-  return sum.pairs ? static_cast<double>(sum.total / static_cast<long double>(sum.pairs))
-                   : 0.0;
+AplResult weighted_apl_subset_scalar(const Graph& g,
+                                     const std::vector<std::uint32_t>& weight,
+                                     const std::vector<char>& member, bool confine_paths,
+                                     std::uint32_t offset, std::uint32_t same_node_dist) {
+  if (member.size() != g.node_count())
+    throw std::invalid_argument("weighted_apl_subset: member mask size mismatch");
+  return accumulate_apl_scalar(g, weight, &member, confine_paths, offset, same_node_dist);
 }
+
+UnweightedAplResult unweighted_apl_stats(const Graph& g) { return accumulate_unweighted(g); }
+
+double unweighted_apl(const Graph& g) { return accumulate_unweighted(g).average; }
 
 std::uint32_t diameter(const Graph& g) {
-  return exec::parallel_reduce(
-      g.node_count(), /*grain=*/1, std::uint32_t{0},
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::uint32_t best = 0;
-        for (std::size_t s = begin; s < end; ++s) {
-          auto dist = bfs_distances(g, static_cast<NodeId>(s));
-          for (NodeId v = 0; v < g.node_count(); ++v) {
-            if (dist[v] == kUnreachable)
-              throw std::runtime_error("diameter: graph disconnected");
-            best = std::max(best, dist[v]);
-          }
-        }
-        return best;
-      },
-      [](std::uint32_t acc, std::uint32_t part) { return std::max(acc, part); });
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> best_per_source(n, 0);
+  MultiBfsPool pool(g);
+  exec::parallel_for_chunked(n, kBfsBatchWidth,
+                             [&](std::size_t begin, std::size_t end, std::size_t) {
+                               MultiBfsLease engine(pool);
+                               std::vector<NodeId> batch(end - begin);
+                               for (std::size_t s = begin; s < end; ++s)
+                                 batch[s - begin] = static_cast<NodeId>(s);
+                               engine->run(batch.data(), batch.size());
+                               for (std::size_t s = begin; s < end; ++s) {
+                                 auto dist = engine->distances(s - begin);
+                                 std::uint32_t best = 0;
+                                 for (NodeId v = 0; v < n; ++v) {
+                                   if (dist[v] == kUnreachable)
+                                     throw std::runtime_error("diameter: graph disconnected");
+                                   best = std::max(best, dist[v]);
+                                 }
+                                 best_per_source[s] = best;
+                               }
+                             });
+  std::uint32_t best = 0;
+  for (std::uint32_t b : best_per_source) best = std::max(best, b);
+  return best;
 }
 
 std::vector<std::size_t> degree_histogram(const Graph& g) {

@@ -6,7 +6,14 @@
 // weighted by the product of server counts, plus the two server-switch
 // attachment links. The weighted engine here takes a per-node weight vector
 // (servers per switch) and an additive hop offset (2 for the attachment
-// links), computed exactly by one BFS per weighted node.
+// links).
+//
+// Engines: the production path runs sources through the bit-parallel
+// batched BFS (graph::MultiSourceBfs, 64 sources per word); the *_scalar
+// variants keep the original one-BFS-per-source kernels as the reference.
+// Both fold per-source long-double partials in ascending source order, so
+// batched and scalar results are bitwise-identical at any thread count —
+// equivalence tests and the bench_micro ops sweep bank on that.
 
 #include <cstdint>
 #include <vector>
@@ -29,6 +36,12 @@ struct AplResult {
 AplResult weighted_apl(const Graph& g, const std::vector<std::uint32_t>& weight,
                        std::uint32_t offset, std::uint32_t same_node_dist);
 
+/// Reference scalar kernel behind weighted_apl (one BFS per source);
+/// bitwise-identical to the batched production path. Kept public for
+/// equivalence tests and the bench_micro batched-vs-scalar ops sweep.
+AplResult weighted_apl_scalar(const Graph& g, const std::vector<std::uint32_t>& weight,
+                              std::uint32_t offset, std::uint32_t same_node_dist);
+
 /// Same metric restricted to nodes with allowed[v] == true: paths may only
 /// traverse allowed nodes (used for intra-pod APL in local-RG mode... the
 /// paper measures pairs in the same pod but allows paths to exit the pod;
@@ -37,7 +50,32 @@ AplResult weighted_apl_subset(const Graph& g, const std::vector<std::uint32_t>& 
                               const std::vector<char>& member, bool confine_paths,
                               std::uint32_t offset, std::uint32_t same_node_dist);
 
-/// Unweighted switch-level APL over all connected node pairs.
+/// Reference scalar kernel behind weighted_apl_subset; see
+/// weighted_apl_scalar.
+AplResult weighted_apl_subset_scalar(const Graph& g,
+                                     const std::vector<std::uint32_t>& weight,
+                                     const std::vector<char>& member, bool confine_paths,
+                                     std::uint32_t offset, std::uint32_t same_node_dist);
+
+/// Unweighted APL with the unreachable-pair policy explicit: disconnected
+/// pairs are *skipped* from the average and reported in
+/// `unreachable_pairs` (contrast weighted_apl, which throws — a weighted
+/// instance is a paper figure where a disconnected pair means a broken
+/// topology, while the unweighted metric is also used on deliberately
+/// partitioned graphs).
+struct UnweightedAplResult {
+  double average = 0.0;                ///< mean hops over connected pairs
+  std::uint64_t pairs = 0;             ///< connected unordered pairs averaged
+  std::uint64_t unreachable_pairs = 0; ///< skipped disconnected unordered pairs
+};
+
+/// Unweighted switch-level APL plus the skip accounting described on
+/// UnweightedAplResult.
+UnweightedAplResult unweighted_apl_stats(const Graph& g);
+
+/// Unweighted switch-level APL over all connected node pairs; disconnected
+/// pairs are skipped silently (use unweighted_apl_stats to observe how
+/// many were skipped).
 double unweighted_apl(const Graph& g);
 
 /// Graph diameter (max eccentricity); throws on disconnected graphs.

@@ -1,0 +1,203 @@
+#include "graph/multi_bfs.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
+
+namespace flattree::graph {
+
+namespace {
+
+// Deterministic process-wide totals: each batch adds its (deterministic)
+// local counts once, so the sums are independent of batch scheduling.
+std::atomic<std::uint64_t> g_batches{0};
+std::atomic<std::uint64_t> g_sources{0};
+std::atomic<std::uint64_t> g_levels{0};
+std::atomic<std::uint64_t> g_node_expansions{0};
+std::atomic<std::uint64_t> g_words_touched{0};
+std::atomic<std::uint64_t> g_nodes_settled{0};
+
+// The batched engine bills the same per-source BFS counters as the scalar
+// kernels (graph.bfs.*) so manifests stay comparable across engines, plus
+// engine-level counters for the batch mechanics.
+obs::Counter c_bfs_runs("graph.bfs.runs");
+obs::Counter c_bfs_visited("graph.bfs.nodes_visited");
+obs::Histogram h_bfs_visited("graph.bfs.visited_per_source",
+                             obs::Histogram::exponential_bounds(16.0, 4.0, 10));
+obs::Counter c_batches("graph.bitbfs.batches");
+obs::Counter c_expansions("graph.bitbfs.node_expansions");
+obs::Counter c_words("graph.bitbfs.words_touched");
+
+DistanceAuditHook& audit_hook() {
+  static DistanceAuditHook hook;
+  return hook;
+}
+
+}  // namespace
+
+MultiBfsStats multi_bfs_stats() {
+  MultiBfsStats s;
+  s.batches = g_batches.load(std::memory_order_relaxed);
+  s.sources = g_sources.load(std::memory_order_relaxed);
+  s.levels = g_levels.load(std::memory_order_relaxed);
+  s.node_expansions = g_node_expansions.load(std::memory_order_relaxed);
+  s.words_touched = g_words_touched.load(std::memory_order_relaxed);
+  s.nodes_settled = g_nodes_settled.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_multi_bfs_stats() {
+  g_batches.store(0, std::memory_order_relaxed);
+  g_sources.store(0, std::memory_order_relaxed);
+  g_levels.store(0, std::memory_order_relaxed);
+  g_node_expansions.store(0, std::memory_order_relaxed);
+  g_words_touched.store(0, std::memory_order_relaxed);
+  g_nodes_settled.store(0, std::memory_order_relaxed);
+}
+
+void set_distance_audit_hook(DistanceAuditHook hook) { audit_hook() = std::move(hook); }
+
+MultiSourceBfs::MultiSourceBfs(const Graph& g) : g_(&g), node_count_(g.node_count()) {
+  g.ensure_csr();
+  visited_.resize(node_count_, 0);
+  frontier_.resize(node_count_, 0);
+  next_.resize(node_count_, 0);
+}
+
+std::span<const std::uint32_t> MultiSourceBfs::distances(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("MultiSourceBfs::distances: bad index");
+  return {dist_.data() + i * node_count_, node_count_};
+}
+
+void MultiSourceBfs::run(const NodeId* sources, std::size_t count,
+                         const std::vector<char>* allowed) {
+  if (count == 0 || count > kBfsBatchWidth)
+    throw std::invalid_argument("MultiSourceBfs::run: batch size out of range");
+  if (allowed && allowed->size() != node_count_)
+    throw std::invalid_argument("MultiSourceBfs::run: mask size mismatch");
+
+  const std::size_t n = node_count_;
+  count_ = count;
+  dist_.resize(count * n);
+  std::fill(dist_.begin(), dist_.end(), kUnreachable);
+  std::fill(visited_.begin(), visited_.end(), 0);
+  std::fill(frontier_.begin(), frontier_.end(), 0);
+  std::fill(next_.begin(), next_.end(), 0);
+  std::fill(reached_, reached_ + kBfsBatchWidth, 0);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeId s = sources[i];
+    if (s >= n) throw std::invalid_argument("MultiSourceBfs::run: source out of range");
+    if (allowed && !(*allowed)[s])
+      throw std::invalid_argument("MultiSourceBfs::run: source not allowed");
+    visited_[s] |= std::uint64_t{1} << i;
+    frontier_[s] |= std::uint64_t{1} << i;
+    dist_[i * n + s] = 0;
+    ++reached_[i];
+  }
+
+  // Local counters folded into the globals once at the end (deterministic:
+  // the scan order below is fixed, independent of threads or pool state).
+  std::uint64_t levels = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t words = 0;
+  std::uint64_t settled = count;  // sources settle at level 0
+
+  const char* mask = allowed ? allowed->data() : nullptr;
+  for (;;) {
+    ++levels;
+    // Expansion sweep: nodes in ascending id, arcs in CSR order. Word
+    // accounting — one read per frontier word, one read per neighbour's
+    // visited word, two writes when new bits land.
+    for (NodeId u = 0; u < n; ++u) {
+      const std::uint64_t fw = frontier_[u];
+      ++words;
+      if (!fw) continue;
+      ++expansions;
+      for (const Arc& arc : g_->neighbors(u)) {
+        const NodeId v = arc.to;
+        if (mask && !mask[v]) continue;
+        ++words;
+        const std::uint64_t fresh = fw & ~visited_[v];
+        if (fresh) {
+          visited_[v] |= fresh;
+          next_[v] |= fresh;
+          words += 2;
+        }
+      }
+    }
+    // Settle sweep: assign this level's distance per fresh (source, node)
+    // bit and detect termination.
+    bool any = false;
+    const std::uint32_t level32 = static_cast<std::uint32_t>(levels);
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint64_t nw = next_[v];
+      ++words;
+      if (!nw) continue;
+      any = true;
+      while (nw) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(nw));
+        nw &= nw - 1;
+        dist_[i * n + v] = level32;
+        ++reached_[i];
+        ++settled;
+      }
+    }
+    if (!any) {
+      --levels;  // the last sweep found an empty next frontier
+      break;
+    }
+    std::swap(frontier_, next_);
+    std::fill(next_.begin(), next_.end(), 0);
+    words += n;
+  }
+
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_sources.fetch_add(count, std::memory_order_relaxed);
+  g_levels.fetch_add(levels, std::memory_order_relaxed);
+  g_node_expansions.fetch_add(expansions, std::memory_order_relaxed);
+  g_words_touched.fetch_add(words, std::memory_order_relaxed);
+  g_nodes_settled.fetch_add(settled, std::memory_order_relaxed);
+
+  if (obs::enabled()) {
+    c_batches.inc();
+    c_expansions.add(expansions);
+    c_words.add(words);
+    // Same per-source accounting as the scalar kernels: every (source,
+    // node) pair settles exactly once in either engine.
+    for (std::size_t i = 0; i < count; ++i) {
+      c_bfs_runs.inc();
+      c_bfs_visited.add(reached_[i]);
+      h_bfs_visited.observe(static_cast<double>(reached_[i]));
+    }
+  }
+
+  if (const DistanceAuditHook& hook = audit_hook()) {
+    std::vector<std::uint32_t> row(dist_.begin(),
+                                   dist_.begin() + static_cast<std::ptrdiff_t>(n));
+    hook(*g_, sources[0], row);
+  }
+}
+
+std::unique_ptr<MultiSourceBfs> MultiBfsPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      auto engine = std::move(free_.back());
+      free_.pop_back();
+      return engine;
+    }
+  }
+  return std::make_unique<MultiSourceBfs>(*g_);
+}
+
+void MultiBfsPool::release(std::unique_ptr<MultiSourceBfs> engine) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(engine));
+}
+
+}  // namespace flattree::graph

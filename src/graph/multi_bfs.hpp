@@ -1,0 +1,157 @@
+#pragma once
+// Bit-parallel batched multi-source BFS: 64 sources per machine word.
+//
+// One scalar BFS per source touches every node and edge once *per source*;
+// at mega scale (k=48/64 fat-trees, 100k+ servers) the per-source sweeps
+// behind APL/APSP/diameter dominate everything else. This engine runs up
+// to 64 sources in lock-step instead (Then et al., "The More the Merrier:
+// Efficient Multi-Source Graph Traversal", VLDB 2015): each node carries
+// one 64-bit word per role — `visited` (bit i: source i reached the node)
+// and `frontier` (bit i: source i reached it at the current level) — and
+// frontier expansion is a word-wide `frontier[u] & ~visited[v]` per arc,
+// so one pass over the CSR advances all 64 traversals at once. Unit-weight
+// distances are exact: every (source, node) pair settles at the first
+// level its bit appears, identical to the scalar BFS result bit for bit.
+//
+// Allocation discipline: an engine owns its scratch (three word arrays,
+// one row-major distance block) and reuses it across run() calls — the
+// hot loop allocates nothing. Parallel callers lease engines from a
+// MultiBfsPool (one engine per concurrently running batch, recycled via a
+// free list) instead of constructing per batch.
+//
+// Determinism contract: a batch's result and its operation counters are a
+// pure function of (graph, source list, mask) — the expansion scans nodes
+// in ascending id and arcs in CSR order, single-threaded per batch. The
+// global MultiBfsStats totals are order-independent sums over batches, so
+// they are identical at any thread count; benches record them as proof of
+// work (wall-clock on a 1-core container is untrustworthy).
+//
+// Sampled certification: set_distance_audit_hook installs a process-wide
+// callback invoked with the first source row of every batch. Benches use
+// it under --selfcheck to run check::certify_distances on sampled batched
+// rows without ft_graph depending on ft_check.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flattree::graph {
+
+/// Sources per batch: one bit per source in a 64-bit frontier word.
+inline constexpr std::size_t kBfsBatchWidth = 64;
+
+/// Deterministic operation totals accumulated across every MultiSourceBfs
+/// batch since the last reset (process-wide, thread-safe sums).
+struct MultiBfsStats {
+  std::uint64_t batches = 0;         ///< run() calls completed
+  std::uint64_t sources = 0;         ///< sources traversed (<= 64 per batch)
+  std::uint64_t levels = 0;          ///< BFS levels expanded, summed over batches
+  std::uint64_t node_expansions = 0; ///< nodes expanded with a nonzero frontier word
+  std::uint64_t words_touched = 0;   ///< 64-bit frontier/visited words read or written
+  std::uint64_t nodes_settled = 0;   ///< (source, node) pairs assigned a distance
+};
+
+/// Snapshot of the process-wide batched-BFS counters.
+MultiBfsStats multi_bfs_stats();
+
+/// Zeroes the process-wide batched-BFS counters (bench sweeps bracket a
+/// kernel with reset + snapshot to attribute work).
+void reset_multi_bfs_stats();
+
+/// Callback receiving (graph, source, distance row) for the first source
+/// of each completed batch; see set_distance_audit_hook.
+using DistanceAuditHook =
+    std::function<void(const Graph&, NodeId, const std::vector<std::uint32_t>&)>;
+
+/// Installs (or, with nullptr, clears) the process-wide sampled-row audit
+/// hook. Install before parallel work starts (the setter is not
+/// synchronized against concurrent run() calls); the hook itself must be
+/// thread-safe — it fires from whichever worker ran the batch.
+void set_distance_audit_hook(DistanceAuditHook hook);
+
+/// Batched BFS engine over one graph. Not thread-safe: one engine serves
+/// one batch at a time (lease per worker via MultiBfsPool for parallel
+/// fan-out). Scratch is sized on first run() and reused afterwards.
+class MultiSourceBfs {
+ public:
+  /// Binds the engine to `g` (the CSR is built eagerly so run() never
+  /// takes the lazy-build lock). The graph must outlive the engine and
+  /// must not be mutated while the engine is in use.
+  explicit MultiSourceBfs(const Graph& g);
+
+  /// Traverses from sources[0 .. count), count in [1, kBfsBatchWidth].
+  /// With `allowed` non-null the traversal is confined to nodes with
+  /// allowed[v] != 0 (the bfs_distances_filtered semantics; every source
+  /// must be allowed). Throws std::invalid_argument on a bad count, an
+  /// out-of-range or disallowed source, or a mask size mismatch.
+  void run(const NodeId* sources, std::size_t count,
+           const std::vector<char>* allowed = nullptr);
+
+  /// Number of sources in the last run() batch.
+  std::size_t batch_size() const { return count_; }
+
+  /// Distance row of the i-th source of the last batch: exactly what
+  /// bfs_distances (or bfs_distances_filtered) returns for that source,
+  /// kUnreachable marking unreached nodes. Valid until the next run().
+  std::span<const std::uint32_t> distances(std::size_t i) const;
+
+  /// Nodes reached by the i-th source of the last batch (incl. itself).
+  std::size_t reached(std::size_t i) const { return reached_[i]; }
+
+ private:
+  const Graph* g_;
+  std::size_t node_count_;
+  std::vector<std::uint64_t> visited_;
+  std::vector<std::uint64_t> frontier_;
+  std::vector<std::uint64_t> next_;
+  std::vector<std::uint32_t> dist_;  ///< row-major: dist_[i * node_count_ + v]
+  std::size_t count_ = 0;
+  std::size_t reached_[kBfsBatchWidth] = {};
+};
+
+/// Thread-safe free list of MultiSourceBfs engines over one graph: at most
+/// one engine is ever live per concurrently running batch, and engines are
+/// recycled so repeated batches do no scratch allocation.
+class MultiBfsPool {
+ public:
+  /// Builds the CSR once up front so leased engines never contend on it.
+  explicit MultiBfsPool(const Graph& g) : g_(&g) { g.ensure_csr(); }
+
+  /// Takes an engine from the free list (or constructs the pool's next
+  /// one). Pair with release(); prefer the MultiBfsLease RAII wrapper.
+  std::unique_ptr<MultiSourceBfs> acquire();
+
+  /// Returns a leased engine to the free list.
+  void release(std::unique_ptr<MultiSourceBfs> engine);
+
+ private:
+  const Graph* g_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<MultiSourceBfs>> free_;
+};
+
+/// RAII lease of a pool engine for one batch (or a sequence of batches on
+/// the same worker).
+class MultiBfsLease {
+ public:
+  explicit MultiBfsLease(MultiBfsPool& pool) : pool_(&pool), engine_(pool.acquire()) {}
+  ~MultiBfsLease() { pool_->release(std::move(engine_)); }
+  MultiBfsLease(const MultiBfsLease&) = delete;
+  MultiBfsLease& operator=(const MultiBfsLease&) = delete;
+
+  /// The leased engine.
+  MultiSourceBfs& operator*() { return *engine_; }
+  /// The leased engine.
+  MultiSourceBfs* operator->() { return engine_.get(); }
+
+ private:
+  MultiBfsPool* pool_;
+  std::unique_ptr<MultiSourceBfs> engine_;
+};
+
+}  // namespace flattree::graph

@@ -45,10 +45,13 @@ graph::AplResult weighted_apl(DynamicApsp& engine,
 
   OBS_SPAN("graph.apl");
   const std::size_t n = g.node_count();
-  // Materialize every weighted source before the parallel region: the
-  // engine may only be mutated (cold-computed) from one thread.
+  // Materialize every weighted source before the read-only parallel region
+  // below; the bulk fill runs 64-wide batched BFS internally.
+  std::vector<graph::NodeId> needed;
+  needed.reserve(n);
   for (std::size_t s = 0; s < n; ++s)
-    if (weight[s] != 0) engine.distances(static_cast<graph::NodeId>(s));
+    if (weight[s] != 0) needed.push_back(static_cast<graph::NodeId>(s));
+  engine.materialize(needed);
 
   const DynamicApsp& ro = engine;
   AplPartial sum = exec::parallel_reduce(

@@ -6,6 +6,7 @@
 #include "check/distances.hpp"
 #include "exec/parallel_for.hpp"
 #include "graph/bfs.hpp"
+#include "graph/multi_bfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -86,6 +87,58 @@ const std::vector<std::uint32_t>& DynamicApsp::distances(NodeId source) {
     c_cache_hits.inc();
   }
   return src_[source]->dist;
+}
+
+void DynamicApsp::materialize(const std::vector<NodeId>& sources) {
+  const std::size_t n = g_.node_count();
+  std::vector<NodeId> todo;
+  todo.reserve(sources.size());
+  std::vector<char> queued(n, 0);
+  for (NodeId s : sources) {
+    if (s >= n) throw std::out_of_range("DynamicApsp::materialize: source out of range");
+    if (src_[s] != nullptr) {
+      if (obs::enabled()) c_cache_hits.inc();
+      continue;
+    }
+    if (!queued[s]) {
+      queued[s] = 1;
+      todo.push_back(s);
+    }
+  }
+  if (todo.empty()) return;
+
+  g_.ensure_csr();  // build once, before the parallel batches share it
+  graph::MultiBfsPool pool(g_);
+  exec::parallel_for_chunked(
+      todo.size(), graph::kBfsBatchWidth,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        graph::MultiBfsLease engine(pool);
+        engine->run(todo.data() + begin, end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          auto row = engine->distances(i - begin);
+          auto st = std::make_unique<SourceState>();
+          st->dist.assign(row.begin(), row.end());
+          // The batched engine yields distances only; rebuild a parent
+          // tree from them — the first CSR arc one level closer is a
+          // valid shortest-path parent (dist[parent] + 1 == dist[v]), so
+          // the support invariant repairs and certification rely on
+          // holds. kUnreachable + 1 wraps to 0 and can never equal a
+          // positive dv, so unreached neighbours never match.
+          st->parent_link.assign(n, kInvalidLink);
+          for (NodeId v = 0; v < n; ++v) {
+            const std::uint32_t dv = st->dist[v];
+            if (dv == 0 || dv == kUnreachable) continue;
+            for (const graph::Arc& arc : g_.neighbors(v)) {
+              if (st->dist[arc.to] + 1 == dv) {
+                st->parent_link[v] = arc.link;
+                break;
+              }
+            }
+          }
+          if (obs::enabled()) c_cold.inc();
+          src_[todo[i]] = std::move(st);
+        }
+      });
 }
 
 const std::vector<std::uint32_t>& DynamicApsp::cached_distances(NodeId source) const {

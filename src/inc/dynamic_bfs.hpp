@@ -86,6 +86,18 @@ class DynamicApsp {
   /// reference stays valid until the next retarget()/invalidate().
   const std::vector<std::uint32_t>& distances(graph::NodeId source);
 
+  /// Cold-computes every not-yet-cached source in `sources` through the
+  /// bit-parallel batched engine (graph::MultiSourceBfs, 64 sources per
+  /// word, batches fanned out over the exec pool) — the bulk path behind
+  /// inc::weighted_apl's materialization, replacing one scalar BFS per
+  /// source. Distances are bitwise-identical to cold_compute's; parent
+  /// links are rederived from the distance rows (first CSR arc one level
+  /// closer), a valid shortest-path tree for later repairs. Mutates the
+  /// engine: not safe against concurrent readers. Billing matches the lazy
+  /// path: graph.bfs.* + inc.apl.sources_cold per computed source,
+  /// inc.apl.cache_hits per already-cached source.
+  void materialize(const std::vector<graph::NodeId>& sources);
+
   /// True when `source`'s tree is materialized.
   bool cached(graph::NodeId source) const {
     return source < src_.size() && src_[source] != nullptr;

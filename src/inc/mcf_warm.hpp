@@ -36,6 +36,7 @@ namespace flattree::inc {
 /// Which warm tier a solve used (McfWarmCache::last_tier()).
 enum class WarmTier { Cold, DualSeed, ExactResume };
 
+/// Tuning knobs for McfWarmCache.
 struct McfWarmCacheOptions {
   /// Restrict the cache to the ExactResume tier. Exact resumes are bitwise
   /// identical to a cold solve; dual seeds are certified-correct but take a
@@ -46,6 +47,10 @@ struct McfWarmCacheOptions {
   bool exact_only = false;
 };
 
+/// Warm-start cache around mcf::max_concurrent_flow: keeps the previous
+/// solve's phase state per commodity-set shape and resumes (exactly, or
+/// via certified dual seeding — see McfWarmCacheOptions) when a sweep
+/// re-solves a slightly edited instance.
 class McfWarmCache {
  public:
   McfWarmCache() = default;

@@ -1,10 +1,18 @@
 #include "te/flowlet.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace flattree::te {
 
-FlowletTable::FlowletTable(double idle_gap) : idle_gap_(idle_gap) {}
+namespace {
+
+obs::Counter c_evictions("sim.flowlet.evictions");
+
+}  // namespace
+
+FlowletTable::FlowletTable(double idle_gap, std::size_t max_flows)
+    : idle_gap_(idle_gap), max_flows_(max_flows), sweep_watermark_(max_flows) {}
 
 std::uint64_t FlowletTable::salt(std::uint64_t flow_id, double now) {
   if (idle_gap_ <= 0.0) return flow_id;
@@ -15,10 +23,35 @@ std::uint64_t FlowletTable::salt(std::uint64_t flow_id, double now) {
     ++switches_;
   }
   state.last_seen = now;
-  if (state.index == 0) return flow_id;
+  const std::uint64_t index = state.index;
+  // Only a fresh insertion can push the size past the watermark; the
+  // current flow was just stamped with `now`, so it always survives.
+  if (inserted && table_.size() > sweep_watermark_) sweep(now);
+  if (index == 0) return flow_id;
   // Substream-style decorrelation: two avalanche rounds over the
   // (flow, flowlet-index) pair, mirroring Rng::substream(seed, stream).
-  return util::mix64(util::mix64(flow_id + 0x9e3779b97f4a7c15ULL) ^ state.index);
+  return util::mix64(util::mix64(flow_id + 0x9e3779b97f4a7c15ULL) ^ index);
+}
+
+void FlowletTable::sweep(double now) {
+  const double horizon = kEvictGapFactor * idle_gap_;
+  std::uint64_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now - it->second.last_seen > horizon) {
+      it = table_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += evicted;
+  if (evicted != 0 && obs::enabled()) c_evictions.add(evicted);
+  // If the table is full of genuinely live flows, nothing was evictable;
+  // back the watermark off (grow by half the cap) so the sweep stays
+  // amortized instead of running on every insertion. Both branches depend
+  // only on sizes, keeping the trigger sequence deterministic.
+  sweep_watermark_ =
+      table_.size() <= max_flows_ ? max_flows_ : table_.size() + max_flows_ / 2;
 }
 
 }  // namespace flattree::te

@@ -51,7 +51,14 @@ std::vector<std::uint32_t> quantize_weights(const std::vector<double>& shares,
   std::uint64_t assigned = 0;
   for (std::size_t i = 0; i < shares.size(); ++i) {
     double share = std::max(shares[i], 0.0);
-    double exact = static_cast<double>(budget) * share / total;
+    // Divide before scaling so a finite total keeps the fraction in [0, 1];
+    // an infinite share or total yields NaN (inf/inf) or 0 (finite/inf)
+    // here, never an out-of-range cast (which would be UB). Non-finite or
+    // oversized `exact` degrades to "no floor" / "full budget" and the
+    // handout loops below conserve the remainder deterministically.
+    double exact = share / total * static_cast<double>(budget);
+    if (!(exact >= 0.0)) exact = 0.0;  // NaN or negative
+    if (exact > static_cast<double>(budget)) exact = static_cast<double>(budget);
     std::uint32_t floor_w = static_cast<std::uint32_t>(exact);
     weights[i] = floor_w;
     assigned += floor_w;
@@ -60,21 +67,43 @@ std::vector<std::uint32_t> quantize_weights(const std::vector<double>& shares,
   // Hand out the leftover units by descending remainder; sort is on
   // (-remainder, index) so ties deterministically favor the lower index.
   std::sort(remainders.begin(), remainders.end());
+  // Guard the unsigned subtraction: should floor rounding ever land past
+  // the budget, an unchecked `budget - assigned` would underflow and the
+  // drain loop below would hand out ~2^64 units. Shave the excess by
+  // *ascending* remainder (reverse of the handout order) instead.
+  while (assigned > budget) {
+    bool shaved = false;
+    for (auto it = remainders.rbegin(); assigned > budget && it != remainders.rend();
+         ++it) {
+      if (weights[it->second] > 0) {
+        --weights[it->second];
+        --assigned;
+        shaved = true;
+      }
+    }
+    if (!shaved)
+      throw std::logic_error("quantize_weights: over-assignment with no weight to shave");
+  }
   std::uint64_t leftover = budget - assigned;
   for (std::size_t r = 0; leftover > 0 && r < remainders.size(); ++r) {
     ++weights[remainders[r].second];
     --leftover;
   }
-  // Floating-point drift can only under-assign (floors), and the remainder
-  // loop covers every index, so this fallback is unreachable in practice —
-  // but exact conservation is an invariant validators check, so drain any
-  // residue round-robin over the positive shares.
-  while (leftover > 0)
-    for (std::size_t i = 0; leftover > 0 && i < weights.size(); ++i)
+  // Exact conservation is an invariant validators check, so drain any
+  // residue round-robin over the positive shares — and fail loudly rather
+  // than spin if no positive share exists to absorb it.
+  while (leftover > 0) {
+    bool drained = false;
+    for (std::size_t i = 0; leftover > 0 && i < weights.size(); ++i) {
       if (shares[i] > 0.0) {
         ++weights[i];
         --leftover;
+        drained = true;
       }
+    }
+    if (!drained)
+      throw std::logic_error("quantize_weights: residue with no positive share to absorb");
+  }
   return weights;
 }
 

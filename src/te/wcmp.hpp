@@ -44,8 +44,14 @@ struct WcmpOptions {
 
 /// Largest-remainder quantization of non-negative `shares` to integers
 /// summing to `budget`. Throws std::invalid_argument when every share is
-/// zero (or negative) or the budget is zero. Deterministic: remainder ties
-/// break toward the lower index.
+/// zero (or negative) or the budget is zero, and std::logic_error if the
+/// conservation fix-up loops cannot make the sum exact (no positive share
+/// left to absorb residue — unreachable for valid inputs, but guarded so
+/// FP pathologies fail loudly instead of corrupting FIB weights).
+/// Non-finite shares are tolerated: a share at +inf (or a share sum that
+/// overflows to +inf) contributes no floor weight and the budget is
+/// redistributed over the positive shares deterministically. Remainder
+/// ties break toward the lower index.
 std::vector<std::uint32_t> quantize_weights(const std::vector<double>& shares,
                                             std::uint32_t budget);
 

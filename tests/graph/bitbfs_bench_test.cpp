@@ -1,0 +1,75 @@
+// End-to-end determinism of the figure benches now that APL runs on the
+// bit-parallel batched engine: fig5/fig7 stdout must be byte-identical at
+// --threads 1 vs 8, and fig5 must exit clean under --selfcheck (which arms
+// the certify_distances audit hook over sampled batched rows).
+// FT_BENCH_DIR is injected by CMake; tests skip when binaries are absent.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace flattree {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+}
+
+/// Runs `bench args > out 2>/dev/null`, returning the exit status.
+int run(const std::string& bench, const std::string& args, const std::string& out) {
+  std::string cmd = bench + " " + args + " > " + out + " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+TEST(BitBfsBench, Fig5ByteIdenticalAcrossThreadCounts) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_fig5_apl_global";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+  std::string tmp = testing::TempDir();
+  std::string t1 = tmp + "fig5_t1.txt";
+  std::string t8 = tmp + "fig5_t8.txt";
+  ASSERT_EQ(run(bench, "--kmax 8 --threads 1", t1), 0);
+  ASSERT_EQ(run(bench, "--kmax 8 --threads 8", t8), 0);
+  std::string out1 = slurp(t1);
+  ASSERT_FALSE(out1.empty());
+  EXPECT_EQ(out1, slurp(t8));
+}
+
+TEST(BitBfsBench, Fig7ByteIdenticalAcrossThreadCounts) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_fig7_broadcast";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+  std::string tmp = testing::TempDir();
+  std::string t1 = tmp + "fig7_t1.txt";
+  std::string t8 = tmp + "fig7_t8.txt";
+  const std::string base = "--kmax 8 --seeds 1";
+  ASSERT_EQ(run(bench, base + " --threads 1", t1), 0);
+  ASSERT_EQ(run(bench, base + " --threads 8", t8), 0);
+  std::string out1 = slurp(t1);
+  ASSERT_FALSE(out1.empty());
+  EXPECT_EQ(out1, slurp(t8));
+}
+
+TEST(BitBfsBench, Fig5SelfcheckCertifiesBatchedRows) {
+  std::string bench = std::string(FT_BENCH_DIR) + "/bench_fig5_apl_global";
+  if (!file_exists(bench)) GTEST_SKIP() << "bench binary not built: " << bench;
+  std::string tmp = testing::TempDir();
+  std::string out = tmp + "fig5_selfcheck.txt";
+  // --selfcheck flips the exit code on any certification violation, so a
+  // zero exit means every sampled batched row passed certify_distances.
+  EXPECT_EQ(run(bench, "--kmax 8 --threads 4 --selfcheck", out), 0);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -113,6 +113,46 @@ TEST(UnweightedApl, IgnoresDisconnectedPairs) {
   EXPECT_DOUBLE_EQ(unweighted_apl(g), 1.0);
 }
 
+// The unreachable-pair policy on a 2-component graph, both sides: the
+// unweighted metric skips disconnected pairs and reports how many it
+// skipped; the weighted metric treats any disconnected weighted pair as a
+// broken topology and throws.
+TEST(UnweightedApl, StatsReportSkippedPairsOnTwoComponents) {
+  Graph g(5);  // components {0,1,2} (path) and {3,4}
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(3, 4);
+  auto r = unweighted_apl_stats(g);
+  // In-component pairs: (0,1),(1,2),(0,2),(3,4) -> distances 1,1,2,1.
+  EXPECT_EQ(r.pairs, 4u);
+  EXPECT_DOUBLE_EQ(r.average, 5.0 / 4.0);
+  // Cross-component pairs: 3 * 2 = 6, skipped but counted.
+  EXPECT_EQ(r.unreachable_pairs, 6u);
+  EXPECT_DOUBLE_EQ(unweighted_apl(g), r.average);
+}
+
+TEST(UnweightedApl, StatsOnFullyDisconnectedGraph) {
+  Graph g(3);  // no links at all: nothing to average
+  auto r = unweighted_apl_stats(g);
+  EXPECT_EQ(r.pairs, 0u);
+  EXPECT_EQ(r.unreachable_pairs, 3u);
+  EXPECT_DOUBLE_EQ(r.average, 0.0);
+}
+
+TEST(WeightedApl, ThrowsOnTwoComponents) {
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(3, 4);
+  std::vector<std::uint32_t> w(5, 1);
+  EXPECT_THROW(weighted_apl(g, w, 0, 0), std::runtime_error);
+  EXPECT_THROW(weighted_apl_scalar(g, w, 0, 0), std::runtime_error);
+  // Zero-weighting one component makes every weighted pair connected
+  // again: the policy is about *weighted* pairs, not global connectivity.
+  std::vector<std::uint32_t> one_side{1, 1, 1, 0, 0};
+  EXPECT_EQ(weighted_apl(g, one_side, 0, 0).pairs, 3u);
+}
+
 TEST(Diameter, PathAndCycle) {
   EXPECT_EQ(diameter(path_graph(5)), 4u);
   Graph cyc = path_graph(6);

@@ -61,6 +61,75 @@ TEST(Flowlet, FlowsTrackedIndependently) {
   EXPECT_EQ(table.switches(), 1u);
 }
 
+TEST(Flowlet, LongRunMemoryStaysBounded) {
+  // A DES-length stream of short-lived flows: without eviction the table
+  // kept one entry per flow forever. With a cap of 64 the sweep must keep
+  // the table near the cap while counting every eviction.
+  FlowletTable table(1.0, /*max_flows=*/64);
+  double now = 0.0;
+  for (std::uint64_t flow = 0; flow < 10000; ++flow) {
+    now += 0.5;
+    table.salt(flow, now);      // each flow sends two packets...
+    table.salt(flow, now + 0.1);  // ...and then goes idle forever
+  }
+  // Survivors are only flows within the 8-gap eviction horizon of the last
+  // sweep; the table can exceed the cap by at most the sweep hysteresis
+  // (cap + cap/2), never grow with the flow count.
+  EXPECT_LE(table.flows(), 64u + 32u);
+  EXPECT_GT(table.evictions(), 9000u);
+  EXPECT_EQ(table.switches(), 0u);  // no flow ever paused within its life
+}
+
+TEST(Flowlet, EvictionPreservesLiveFlowSalts) {
+  // One long-lived flow with gaps, salted identically by an unbounded
+  // table and by a tiny capped table under churn from one-shot flows.
+  FlowletTable unbounded(1.0);
+  FlowletTable capped(1.0, /*max_flows=*/16);
+  double now = 0.0;
+  std::uint64_t next_flow = 1000;
+  for (int burst = 0; burst < 40; ++burst) {
+    now += 2.0;  // every burst starts a new flowlet (gap 2.0 > 1.0)
+    for (int pkt = 0; pkt < 3; ++pkt) {
+      now += 0.1;
+      EXPECT_EQ(capped.salt(7, now), unbounded.salt(7, now)) << "burst=" << burst;
+      // Churn: a fresh one-shot flow per packet keeps the capped table
+      // sweeping; flow 7 is always live, so its state must survive.
+      capped.salt(next_flow, now);
+      ++next_flow;
+    }
+  }
+  EXPECT_GT(capped.evictions(), 0u);
+  EXPECT_EQ(capped.switches(), unbounded.switches());
+}
+
+TEST(Flowlet, EvictedFlowRestartsAtFlowletZero) {
+  FlowletTable table(1.0, /*max_flows=*/4);
+  table.salt(1, 0.0);
+  table.salt(1, 2.0);  // flowlet 1: salted
+  EXPECT_NE(table.salt(1, 2.1), 1u);
+  // Push far past the eviction horizon (8 gaps) with enough fresh flows to
+  // trigger a sweep; flow 1's entry is idle and goes away.
+  for (std::uint64_t f = 10; f < 20; ++f) table.salt(f, 100.0);
+  EXPECT_GT(table.evictions(), 0u);
+  // The returning flow is indistinguishable from a fresh one: flowlet 0,
+  // identity salt — exactly how a real switch's finite table behaves.
+  EXPECT_EQ(table.salt(1, 100.5), 1u);
+}
+
+TEST(Flowlet, SweepIsDeterministic) {
+  // Same observation sequence -> same table size, evictions, and salts,
+  // independent of unordered_map iteration order.
+  FlowletTable a(0.5, 8), b(0.5, 8);
+  for (std::uint64_t f = 0; f < 200; ++f) {
+    double t = static_cast<double>(f) * 0.3;
+    EXPECT_EQ(a.salt(f % 23, t), b.salt(f % 23, t));
+    EXPECT_EQ(a.salt(f, t), b.salt(f, t));
+  }
+  EXPECT_EQ(a.flows(), b.flows());
+  EXPECT_EQ(a.evictions(), b.evictions());
+  EXPECT_EQ(a.switches(), b.switches());
+}
+
 TEST(Flowlet, SaltsDifferAcrossFlowsAtSameIndex) {
   // Two flows in flowlet 1 must not collapse onto the same salt (the salt
   // mixes the flow id into the substream, not just the index).

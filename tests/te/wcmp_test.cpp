@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 #include "core/flat_tree.hpp"
@@ -50,6 +51,48 @@ TEST(QuantizeWeights, ErrorCases) {
   EXPECT_THROW(quantize_weights({1.0}, 0), std::invalid_argument);
   EXPECT_THROW(quantize_weights({0.0, 0.0}, 64), std::invalid_argument);
   EXPECT_THROW(quantize_weights({-1.0}, 64), std::invalid_argument);
+}
+
+// Adversarial shares: every pathology below once risked the uint64
+// underflow path (assigned > budget -> `budget - assigned` wraps and the
+// drain loop hands out ~2^64 weight) or UB in the double->uint32 cast.
+// The invariant under test is exact conservation, always.
+TEST(QuantizeWeights, AdversarialSharesStillConserveBudget) {
+  // Share sum overflows to +inf: every fraction degrades to NaN or 0, so
+  // the whole budget flows through the deterministic handout loops.
+  auto w = quantize_weights({1e308, 1e308}, 5);
+  EXPECT_EQ(weight_sum(w), 5u);
+  EXPECT_GT(w[0], 0u);
+  EXPECT_GT(w[1], 0u);
+
+  // A single +inf share alongside a finite one (inf/inf -> NaN fraction).
+  w = quantize_weights({std::numeric_limits<double>::infinity(), 1.0}, 64);
+  EXPECT_EQ(weight_sum(w), 64u);
+
+  // Denormals: fractions stay exact (0.5 each) after the divide-first
+  // rewrite; a scale-first formulation would overflow or flush to zero.
+  w = quantize_weights({5e-324, 5e-324}, 64);
+  EXPECT_EQ(weight_sum(w), 64u);
+  EXPECT_EQ(w[0], 32u);
+  EXPECT_EQ(w[1], 32u);
+
+  // Huge spread between shares at a large budget.
+  w = quantize_weights({std::numeric_limits<double>::max(), 1e-300}, 1u << 30);
+  EXPECT_EQ(weight_sum(w), std::uint64_t{1} << 30);
+
+  // NaN share: the total goes NaN, which the no-positive-share guard
+  // already rejects (fail loudly, never quantize garbage).
+  EXPECT_THROW(quantize_weights({std::numeric_limits<double>::quiet_NaN(), 1.0}, 8),
+               std::invalid_argument);
+}
+
+TEST(QuantizeWeights, ManyTinySharesAtSmallBudget) {
+  // More positive shares than budget units: floors are all zero and the
+  // remainder handout must stop exactly at the budget.
+  std::vector<double> shares(97, 1e-12);
+  auto w = quantize_weights(shares, 13);
+  EXPECT_EQ(weight_sum(w), 13u);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_LE(w[i], 1u) << i;
 }
 
 TEST(CompileWcmpPaths, EcmpMultiplicitiesOnFatTree) {
