@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Documentation gate (ctest label `docs`). Three checks:
+# Documentation gate (ctest label `docs`). Five checks:
 #
 #   1. Markdown link integrity — every intra-repo link target in the
-#      checked .md files exists on disk (external http(s) links and pure
-#      anchors are skipped).
-#   2. Header doc coverage — every public header under src/graph/, src/inc/,
-#      src/mcf/, src/fault/, src/svc/ and src/te/ has a file-level
-#      comment, and every namespace-scope declaration (struct/class/enum/
-#      free function) is immediately preceded by a doc comment.
-#   3. README bench catalog — the bench catalog table in README.md lists
+#      checked .md files exists on disk (external http(s) links are
+#      skipped), every `#anchor` (pure or `file#anchor`) resolves to a
+#      heading in the target file, and no dead `[[...]]` wiki-style
+#      anchors survive.
+#   2. Table-of-contents coverage — every `##` section of DESIGN.md and
+#      EXPERIMENTS.md is linked from that file's ToC.
+#   3. Header doc coverage — every public header under src/graph/, src/inc/,
+#      src/mcf/, src/fault/, src/svc/, src/te/ and src/design/ has a
+#      file-level comment, and every namespace-scope declaration (struct/
+#      class/enum/free function) is immediately preceded by a doc comment.
+#   4. README bench catalog — the bench catalog table in README.md lists
 #      every bench binary that exists under bench/.
 #
 # Usage: scripts/check_docs.sh [repo-root]   (defaults to the script's parent)
@@ -39,23 +43,70 @@ MD_FILES += sorted(
 ) if os.path.isdir(os.path.join(root, "docs")) else []
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.M)
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor rule: lowercase, drop everything but
+    word chars / spaces / hyphens, spaces become hyphens."""
+    a = heading.strip().lower()
+    a = re.sub(r"[^\w\s-]", "", a)
+    return a.replace(" ", "-")
+
+
+def md_text(md):
+    text = open(os.path.join(root, md), encoding="utf-8").read()
+    # Strip fenced code blocks: their bracket/paren text is not links.
+    # (Inline code spans stay — headings keep their `code` text, which
+    # GitHub includes when deriving anchors.)
+    return re.sub(r"```.*?```", "", text, flags=re.S)
+
+
+def md_anchors(md):
+    return {github_anchor(h) for _, h in HEADING_RE.findall(md_text(md))}
+
+
+def resolve(md, rel):
+    """Path of a relative link target, or None when it doesn't exist."""
+    for base in (os.path.dirname(md), ""):
+        p = os.path.normpath(os.path.join(base, rel))
+        if os.path.exists(os.path.join(root, p)):
+            return p
+    return None
+
 
 for md in MD_FILES:
-    path = os.path.join(root, md)
-    if not os.path.exists(path):
+    if not os.path.exists(os.path.join(root, md)):
         continue  # optional files may not exist yet
-    text = open(path, encoding="utf-8").read()
-    # Strip fenced code blocks: their bracket/paren text is not links.
-    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    text = md_text(md)
+    # Dead wiki-style anchors: a [[...]] never renders as a link
+    # (inline code spans are exempt — docs may *mention* the syntax).
+    for m in re.finditer(r"\[\[[^\]]+\]\]", re.sub(r"`[^`\n]*`", "", text)):
+        fail(f"{md}: dead [[...]] anchor: {m.group(0)[:60]}")
     for target in LINK_RE.findall(text):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        rel = target.split("#", 1)[0]
-        if not rel:
+        rel, _, anchor = target.partition("#")
+        if rel:
+            resolved = resolve(md, rel)
+            if resolved is None:
+                fail(f"{md}: broken link -> {target}")
+                continue
+        else:
+            resolved = md  # pure intra-file anchor
+        if anchor and resolved.endswith(".md"):
+            if anchor not in md_anchors(resolved):
+                fail(f"{md}: dangling anchor -> {target}")
+
+# -- 1b. ToC coverage: every ## section linked from the file's ToC -----------
+
+for md in ["DESIGN.md", "EXPERIMENTS.md"]:
+    text = md_text(md)
+    for level, heading in HEADING_RE.findall(text):
+        if level != "##" or heading.strip() == "Contents":
             continue
-        if not os.path.exists(os.path.join(root, os.path.dirname(md), rel)) and \
-           not os.path.exists(os.path.join(root, rel)):
-            fail(f"{md}: broken link -> {target}")
+        if f"](#{github_anchor(heading)})" not in text:
+            fail(f"{md}: section not in the ToC: {heading[:60]}")
 
 # -- 2. header doc coverage (HEADER_DIRS below) ------------------------------
 
@@ -76,7 +127,8 @@ def covered(lines, i):
     prev = lines[j].strip()
     return prev.startswith(("//", "///", "/*", "*", "*/")) or prev.endswith("*/")
 
-HEADER_DIRS = ["src/graph", "src/inc", "src/mcf", "src/fault", "src/svc", "src/te"]
+HEADER_DIRS = ["src/graph", "src/inc", "src/mcf", "src/fault", "src/svc", "src/te",
+               "src/design"]
 for d in HEADER_DIRS:
     for name in sorted(os.listdir(os.path.join(root, d))):
         if not name.endswith(".hpp"):

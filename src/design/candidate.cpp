@@ -1,0 +1,127 @@
+#include "design/candidate.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace flattree::design {
+namespace {
+
+core::Mode parse_mode_token(const std::string& token) {
+  if (token == "clos") return core::Mode::Clos;
+  if (token == "global-random") return core::Mode::GlobalRandom;
+  if (token == "local-random") return core::Mode::LocalRandom;
+  throw std::runtime_error("design candidate: unknown mode token '" + token + "'");
+}
+
+}  // namespace
+
+Candidate Candidate::uniform(std::uint32_t pods, core::Mode mode) {
+  return from_zones(pods, {Zone{0, pods, mode}});
+}
+
+Candidate Candidate::from_pod_modes(const std::vector<core::Mode>& modes) {
+  std::vector<Zone> zones;
+  for (std::uint32_t p = 0; p < modes.size(); ++p) {
+    if (!zones.empty() && zones.back().mode == modes[p]) {
+      zones.back().end = p + 1;
+    } else {
+      zones.push_back(Zone{p, p + 1, modes[p]});
+    }
+  }
+  return from_zones(static_cast<std::uint32_t>(modes.size()), std::move(zones));
+}
+
+Candidate Candidate::from_zones(std::uint32_t pods, std::vector<Zone> zones) {
+  if (pods == 0) throw std::invalid_argument("design candidate: pods must be > 0");
+  std::uint32_t cursor = 0;
+  std::vector<Zone> merged;
+  for (const Zone& z : zones) {
+    if (z.begin != cursor || z.end <= z.begin)
+      throw std::invalid_argument("design candidate: zones must be non-empty, "
+                                  "ascending, and cover [0, pods)");
+    cursor = z.end;
+    if (!merged.empty() && merged.back().mode == z.mode) {
+      merged.back().end = z.end;
+    } else {
+      merged.push_back(z);
+    }
+  }
+  if (cursor != pods)
+    throw std::invalid_argument("design candidate: zones must cover [0, pods)");
+  Candidate c;
+  c.pods_ = pods;
+  c.zones_ = std::move(merged);
+  return c;
+}
+
+std::vector<core::Mode> Candidate::pod_modes() const {
+  std::vector<core::Mode> modes(pods_, core::Mode::Clos);
+  for (const Zone& z : zones_)
+    for (std::uint32_t p = z.begin; p < z.end; ++p) modes[p] = z.mode;
+  return modes;
+}
+
+std::vector<std::uint32_t> Candidate::pods_in(core::Mode mode) const {
+  std::vector<std::uint32_t> pods;
+  for (const Zone& z : zones_)
+    if (z.mode == mode)
+      for (std::uint32_t p = z.begin; p < z.end; ++p) pods.push_back(p);
+  return pods;
+}
+
+std::string Candidate::encode() const {
+  std::ostringstream out;
+  out << "# flattree-design-candidate v1\n";
+  out << "pods " << pods_ << "\n";
+  for (const Zone& z : zones_)
+    out << "zone " << z.begin << " " << z.end << " " << core::to_string(z.mode)
+        << "\n";
+  return out.str();
+}
+
+Candidate Candidate::decode(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool header = false;
+  bool have_pods = false;
+  std::uint32_t pods = 0;
+  std::vector<Zone> zones;
+  while (std::getline(in, line)) {
+    if (!header) {
+      if (line != "# flattree-design-candidate v1")
+        throw std::runtime_error("design candidate: missing v1 header");
+      header = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive == "pods") {
+      if (!(fields >> pods))
+        throw std::runtime_error("design candidate: bad pods line");
+      have_pods = true;
+    } else if (directive == "zone") {
+      Zone z;
+      std::string token;
+      if (!(fields >> z.begin >> z.end >> token))
+        throw std::runtime_error("design candidate: bad zone line: " + line);
+      z.mode = parse_mode_token(token);
+      zones.push_back(z);
+    } else {
+      throw std::runtime_error("design candidate: unknown directive '" +
+                               directive + "'");
+    }
+  }
+  if (!header) throw std::runtime_error("design candidate: missing v1 header");
+  if (!have_pods) throw std::runtime_error("design candidate: missing pods line");
+  try {
+    return from_zones(pods, std::move(zones));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("design candidate: ") + e.what());
+  }
+}
+
+}  // namespace flattree::design

@@ -12,7 +12,7 @@ struct OpToken {
   const char* token;
 };
 
-constexpr std::array<OpToken, 10> kOps = {{
+constexpr std::array<OpToken, kOpCount> kOps = {{
     {Op::Hello, "hello"},
     {Op::Build, "build"},
     {Op::Traffic, "traffic"},
@@ -23,6 +23,7 @@ constexpr std::array<OpToken, 10> kOps = {{
     {Op::Query, "query"},
     {Op::Stats, "stats"},
     {Op::Manifest, "manifest"},
+    {Op::Design, "design"},
 }};
 
 std::string op_list() {
@@ -57,7 +58,10 @@ bool parse_op(const std::string& token, Op& out) {
   return false;
 }
 
-bool read_only(Op op) { return op == Op::Hello || op == Op::Query || op == Op::WhatIf; }
+bool read_only(Op op) {
+  return op == Op::Hello || op == Op::Query || op == Op::WhatIf ||
+         op == Op::Design;
+}
 
 bool req_u64(const obs::JsonValue& body, const char* key, std::uint64_t max,
              std::uint64_t& out, bool& present, RequestError& err) {

@@ -46,14 +46,18 @@ enum class Op : std::uint8_t {
   Query,     ///< degraded-state metrics: stranded/APL/lambda
   Stats,     ///< deterministic service counters
   Manifest,  ///< dump the obs metrics manifest to a file
+  Design,    ///< conversion-plan search for a declared workload mix
 };
+
+/// Number of Op enum values (payload tables are sized by this).
+inline constexpr std::size_t kOpCount = 11;
 
 /// Stable lowercase wire token ("hello", "what_if", ...).
 const char* to_string(Op op);
 /// Inverse of to_string; false when `token` names no op.
 bool parse_op(const std::string& token, Op& out);
 /// True for ops that never mutate service or session state (Hello, Query,
-/// WhatIf) — the batchable subset.
+/// WhatIf, Design) — the batchable subset.
 bool read_only(Op op);
 
 /// Why a line was rejected. `code` is stable and namespaced: "json.*" from

@@ -38,7 +38,7 @@ void Service::fill_stats_payload(obs::JsonValue& payload) const {
   put(payload, "accepted", jint(static_cast<std::int64_t>(stats_.accepted)));
   put(payload, "rejected", jint(static_cast<std::int64_t>(stats_.rejected)));
   obs::JsonValue ops = obs::JsonValue::make_object();
-  for (int i = 0; i < 10; ++i)
+  for (int i = 0; i < static_cast<int>(kOpCount); ++i)
     if (stats_.accepted_by_op[i] > 0)
       put(ops, to_string(static_cast<Op>(i)),
           jint(static_cast<std::int64_t>(stats_.accepted_by_op[i])));
@@ -143,16 +143,22 @@ Service::EvalResult Service::eval(const Request& req, bool sequential) {
         break;
       }
       case Op::Query:
-      case Op::WhatIf: {
+      case Op::WhatIf:
+      case Op::Design: {
         Session* s = sessions_[req.session].get();
         if (s == nullptr || !s->built()) {
           err = RequestError{"svc.session.not_built",
                              "session has no plant; send a 'build' request first"};
           break;
         }
+        // Design builds every engine it needs locally per call, so it has
+        // no sequential/parallel split (batch layouts are trivially
+        // byte-identical).
         r.ok = req.op == Op::Query
                    ? s->exec_query(req, sequential, payload, r.tally, err)
-                   : s->exec_what_if(req, sequential, payload, r.tally, err);
+               : req.op == Op::WhatIf
+                   ? s->exec_what_if(req, sequential, payload, r.tally, err)
+                   : s->exec_design(req, payload, r.tally, err);
         break;
       }
     }

@@ -52,7 +52,7 @@ struct ServiceStats {
   std::uint64_t lines = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
-  std::uint64_t accepted_by_op[10] = {};  ///< indexed by Op
+  std::uint64_t accepted_by_op[kOpCount] = {};  ///< indexed by Op
   std::uint64_t fault_events = 0;
   std::uint64_t solves = 0;
   std::uint64_t truncated_solves = 0;

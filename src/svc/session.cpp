@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/expansion.hpp"
+#include "design/design.hpp"
 #include "inc/apl.hpp"
 #include "topo/apl.hpp"
 #include "workload/cluster.hpp"
@@ -574,6 +575,141 @@ bool Session::exec_what_if(const Request& req, bool sequential, obs::JsonValue& 
       fault::degrade(ctl_->network().materialize(cfgs), ctl_->fault_state());
   put(payload, "steps", jint(static_cast<std::int64_t>(steps)));
   metric_block(req, d, sequential, payload, tally);
+  return true;
+}
+
+bool Session::exec_design(const Request& req, obs::JsonValue& payload,
+                          EvalTally& tally, RequestError& err) {
+  if (!require_built(err)) return false;
+
+  std::uint64_t seed = 1, iters = 16;
+  bool present = false;
+  if (!req_u64(req.body, "seed", ~std::uint64_t{0}, seed, present, err)) return false;
+  if (!req_u64(req.body, "iters", 4096, iters, present, err)) return false;
+
+  design::WorkloadMix mix = design::WorkloadMix::defaults();
+  mix.seed = seed;
+  mix.epsilon = opt_.epsilon;
+  if (const obs::JsonValue* list = req.body.find("mix"); list != nullptr) {
+    if (!list->is_array() || list->array().empty())
+      return fail(err, "svc.design.bad_mix",
+                  "field 'mix' must be a non-empty array of components");
+    mix.components.clear();
+    for (std::size_t i = 0; i < list->array().size(); ++i) {
+      const obs::JsonValue& e = list->array()[i];
+      auto bad = [&](const std::string& why) {
+        return fail(err, "svc.design.bad_mix",
+                    "mix[" + std::to_string(i) + "]: " + why);
+      };
+      if (!e.is_object()) return bad("expected an object");
+      design::Component comp;
+      const obs::JsonValue* kind = e.find("kind");
+      if (kind == nullptr || !kind->is_string())
+        return bad("field 'kind' (string) is required");
+      try {
+        comp.kind = design::parse_pattern_kind(kind->as_string());
+        if (const obs::JsonValue* v = e.find("affinity"); v != nullptr) {
+          if (!v->is_string()) return bad("field 'affinity' must be a string");
+          comp.affinity = design::parse_affinity(v->as_string());
+        }
+      } catch (const std::runtime_error& ex) {
+        return bad(ex.what());
+      }
+      if (const obs::JsonValue* v = e.find("cluster"); v != nullptr) {
+        if (!v->is_int() || v->as_int() < 2)
+          return bad("field 'cluster' must be an integer >= 2");
+        comp.cluster = static_cast<std::uint32_t>(v->as_int());
+      }
+      if (const obs::JsonValue* v = e.find("count"); v != nullptr) {
+        if (!v->is_int() || v->as_int() < 0)
+          return bad("field 'count' must be a non-negative integer");
+        comp.count = static_cast<std::uint32_t>(v->as_int());
+      }
+      if (const obs::JsonValue* v = e.find("placement"); v != nullptr) {
+        if (!v->is_string()) return bad("field 'placement' must be a string");
+        const std::string& token = v->as_string();
+        if (token == "locality") {
+          comp.placement = workload::Placement::Locality;
+        } else if (token == "weak") {
+          comp.placement = workload::Placement::WeakLocality;
+        } else if (token == "none") {
+          comp.placement = workload::Placement::NoLocality;
+        } else {
+          return bad("unknown placement '" + token + "'; valid: locality, weak, none");
+        }
+      }
+      if (const obs::JsonValue* v = e.find("weight"); v != nullptr) {
+        if (!v->is_number() || v->as_number() <= 0.0)
+          return bad("field 'weight' must be a positive number");
+        comp.weight = v->as_number();
+      }
+      if (const obs::JsonValue* v = e.find("skew"); v != nullptr) {
+        if (!v->is_number() || v->as_number() <= 0.0)
+          return bad("field 'skew' must be a positive number");
+        comp.skew = v->as_number();
+      }
+      mix.components.push_back(comp);
+    }
+  }
+
+  // Deadline -> iteration budget; the applied count is deterministic (a
+  // pure function of the request), never wall-clock.
+  const std::uint64_t budget = budget_iterations(opt_.slo, req.deadline_ms);
+  const std::uint64_t applied = budget > 0 ? std::min(iters, budget) : iters;
+
+  design::SearchOptions sopt;
+  sopt.seed = seed;
+  sopt.iterations = static_cast<std::uint32_t>(applied);
+  design::SearchResult result = design::search(ctl_->network(), mix, sopt);
+
+  double uniform_best = 0.0;
+  core::Mode uniform_mode = core::Mode::Clos;
+  std::uint64_t uniforms_certified = 0;
+  for (const design::UniformScore& u : result.uniforms) {
+    if (u.score.objective > uniform_best) {
+      uniform_best = u.score.objective;
+      uniform_mode = u.mode;
+    }
+    if (u.certified) ++uniforms_certified;
+  }
+
+  // Work accounting: 3 uniform baselines + the initial warm score + one
+  // warm score per decided move + the cold certified rescore.
+  tally.solves += 3 + 1 + result.accepted + result.rejected + 1;
+  tally.certified += uniforms_certified + (result.certified ? 1 : 0);
+
+  auto mode_token = [](core::Mode m) {
+    switch (m) {
+      case core::Mode::Clos: return "clos";
+      case core::Mode::GlobalRandom: return "global";
+      case core::Mode::LocalRandom:
+      default: return "local";
+    }
+  };
+
+  put(payload, "pods", jint(static_cast<std::int64_t>(result.best.pods())));
+  put(payload, "iters", jint(static_cast<std::int64_t>(applied)));
+  put(payload, "budget", jint(static_cast<std::int64_t>(budget)));
+  put(payload, "accepted", jint(static_cast<std::int64_t>(result.accepted)));
+  put(payload, "rejected", jint(static_cast<std::int64_t>(result.rejected)));
+  put(payload, "skipped", jint(static_cast<std::int64_t>(result.skipped)));
+  put(payload, "objective", jdouble(result.best_cold.objective));
+  put(payload, "lambda_upper", jdouble(result.best_cold.lambda_upper));
+  put(payload, "apl", jdouble(result.best_cold.apl));
+  put(payload, "demands", jint(static_cast<std::int64_t>(result.best_cold.demands)));
+  put(payload, "certified", jbool(result.certified));
+  put(payload, "uniform", jstr(mode_token(uniform_mode)));
+  put(payload, "uniform_objective", jdouble(uniform_best));
+  put(payload, "beats_uniform",
+      jbool(result.best_cold.objective > uniform_best));
+  obs::JsonValue layout = obs::JsonValue::make_array();
+  for (core::Mode m : result.best.pod_modes())
+    layout.array().push_back(obs::JsonValue::make_string(mode_token(m)));
+  put(payload, "layout", std::move(layout));
+  obs::JsonValue moves = obs::JsonValue::make_array();
+  for (const design::AcceptedMove& m : result.accepted_moves)
+    moves.array().push_back(obs::JsonValue::make_string(design::to_string(m.move)));
+  put(payload, "moves", std::move(moves));
   return true;
 }
 

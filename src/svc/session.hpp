@@ -22,7 +22,8 @@
 // svc.build.bad_params, svc.traffic.bad_demand, svc.fault.bad_event,
 // svc.fault.time_regression, svc.convert.in_flight, svc.convert.bad_mode,
 // svc.expand.infeasible, svc.expand.in_flight,
-// svc.expand.faults_outstanding, svc.request.bad_field.
+// svc.expand.faults_outstanding, svc.design.bad_mix,
+// svc.request.bad_field.
 
 #include <cstdint>
 #include <memory>
@@ -80,6 +81,15 @@ class Session {
                   EvalTally& tally, RequestError& err);
   bool exec_what_if(const Request& req, bool sequential, obs::JsonValue& payload,
                     EvalTally& tally, RequestError& err);
+  /// Conversion-plan search (design::search) over the session's *clean*
+  /// plant — outstanding faults are not modeled; the search plans the
+  /// layout the operator would convert the healthy fabric into. Every
+  /// engine it needs is constructed locally per call, so batch-of-1 and
+  /// batch-of-N evaluations are trivially byte-identical and no
+  /// `sequential` flag is needed. deadline_ms caps the iteration count
+  /// through SloPolicy (svc.design.* error codes).
+  bool exec_design(const Request& req, obs::JsonValue& payload, EvalTally& tally,
+                   RequestError& err);
 
  private:
   bool require_built(RequestError& err) const;

@@ -23,6 +23,15 @@ std::uint64_t budget_augmentations(const SloPolicy& policy, double deadline_ms) 
   return budget < policy.min_augmentations ? policy.min_augmentations : budget;
 }
 
+std::uint64_t budget_iterations(const SloPolicy& policy, double deadline_ms) {
+  if (deadline_ms <= 0.0) return 0;  // no deadline: unlimited
+  double raw = deadline_ms * policy.design_iterations_per_ms;
+  if (raw >= 9.0e18) return std::uint64_t{9000000000000000000ull};
+  std::uint64_t budget = static_cast<std::uint64_t>(raw);
+  return budget < policy.min_design_iterations ? policy.min_design_iterations
+                                               : budget;
+}
+
 SloSolve solve_with_budget(const graph::Graph& g,
                            const std::vector<mcf::Commodity>& commodities,
                            double epsilon, std::uint64_t budget,

@@ -1,0 +1,60 @@
+#include "topo/debruijn.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace flattree::topo {
+
+Topology build_debruijn(std::uint32_t symbols, std::uint32_t dimension,
+                        std::uint32_t num_servers, std::uint32_t ports) {
+  if (symbols < 2) throw std::invalid_argument("debruijn: symbols must be >= 2");
+  if (dimension < 1) throw std::invalid_argument("debruijn: dimension must be >= 1");
+  std::uint64_t count = 1;
+  for (std::uint32_t i = 0; i < dimension; ++i) {
+    count *= symbols;
+    if (count > (std::uint64_t{1} << 22))
+      throw std::invalid_argument("debruijn: switch count exceeds 2^22");
+  }
+  const auto n = static_cast<std::uint32_t>(count);
+
+  // Undirected successor edges, deduplicated: (x, (symbols*x + c) mod n)
+  // normalized to (min, max). Self-loops (fixed points of the shift map,
+  // e.g. the all-zeros string) are dropped; 2-cycles collapse to one edge.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t c = 0; c < symbols; ++c) {
+      const auto y = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(x) * symbols + c) % n);
+      if (x == y) continue;
+      edges.emplace(std::min(x, y), std::max(x, y));
+    }
+  }
+
+  Topology t;
+  for (std::uint32_t x = 0; x < n; ++x)
+    t.add_switch(SwitchKind::Core, /*pod=*/-1, /*index=*/x, ports);
+  for (const auto& [a, b] : edges) t.add_link(a, b, LinkOrigin::Random);
+  for (std::uint32_t s = 0; s < num_servers; ++s) t.add_server(s % n);
+  t.validate();
+  return t;
+}
+
+Topology build_debruijn_like_fat_tree(std::uint32_t k) {
+  if (k < 4 || k % 2 != 0)
+    throw std::invalid_argument("debruijn: k must be even and >= 4");
+  const std::uint32_t switch_budget = 5 * k * k / 4;
+  std::uint32_t dimension = 1;
+  while ((std::uint64_t{1} << (dimension + 1)) <= switch_budget) ++dimension;
+  const std::uint32_t n = std::uint32_t{1} << dimension;
+  const std::uint32_t servers = k * k * k / 4;
+  const std::uint32_t per_switch = (servers + n - 1) / n;
+  // Binary De Bruijn degree is at most 4; the budget must also cover the
+  // round-robin server load (small k needs more than k ports for that).
+  const std::uint32_t ports = std::max(k, 4 + per_switch);
+  return build_debruijn(2, dimension, servers, ports);
+}
+
+}  // namespace flattree::topo

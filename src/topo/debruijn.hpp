@@ -1,0 +1,47 @@
+#pragma once
+// De Bruijn flat topology baseline ("A Flat and Scalable Data Center
+// Network Topology Based on De Bruijn Graphs", PAPERS.md).
+//
+// A single-layer switch fabric whose wiring is the undirected De Bruijn
+// graph B(symbols, dimension): switches are the symbols^dimension strings
+// of length `dimension` over a `symbols`-letter alphabet, and switch x
+// links to every left-shift successor (symbols*x + c) mod symbols^dimension.
+// Unlike Jellyfish the wiring is *deterministic* — no RNG, no pairing
+// retries — which makes it a useful fixed flat design for the conversion-
+// plan search (src/design) to compare against: flat like a converted
+// flat-tree, but with zero reconfiguration freedom.
+//
+// Shape notes: the undirected simple graph has degree <= 2*symbols
+// (self-loops on the all-same-symbol strings are dropped, 2-cycles
+// deduplicate), diameter exactly `dimension`, and it is connected for any
+// symbols >= 2, so Topology::validate() holds by construction.
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace flattree::topo {
+
+/// Builds the undirected De Bruijn fabric B(symbols, dimension) with
+/// `num_servers` servers spread round-robin over the symbols^dimension
+/// switches and a uniform per-switch port budget of `ports`. Links carry
+/// LinkOrigin::Random (they replace a random-graph fabric in benches) and
+/// unit capacity. Throws std::invalid_argument when symbols < 2,
+/// dimension < 1, or the switch count exceeds 2^22, and
+/// std::runtime_error (from Topology::validate) when any switch would
+/// exceed its port budget; the result satisfies Topology::validate().
+Topology build_debruijn(std::uint32_t symbols, std::uint32_t dimension,
+                        std::uint32_t num_servers, std::uint32_t ports);
+
+/// De Bruijn plant sized against fat-tree(k): binary alphabet, dimension
+/// chosen as the largest n with 2^n switches within the fat-tree's
+/// 5k^2/4 switch budget, hosting all k^3/4 servers round-robin (the
+/// server-id space matches topo::build_fat_tree(k), so demand vectors
+/// transfer unchanged). Equipment parity is *near* rather than exact —
+/// 2^n <= 5k^2/4 switches, and the per-switch port budget is
+/// max(k, 4 + ceil(servers/switches)) so small k still hosts its server
+/// load — the deliberate, documented deviation of a fixed flat baseline.
+/// Requires even k >= 4.
+Topology build_debruijn_like_fat_tree(std::uint32_t k);
+
+}  // namespace flattree::topo
