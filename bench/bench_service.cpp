@@ -18,9 +18,19 @@
 //     fit their deadline. Wall-clock numbers are machine-dependent by
 //     nature and never feed the digest.
 //
+// The run also journals (v2 CRC framing) and snapshots (every 5 committed
+// groups — an odd cadence, because the script's read batches commit at
+// mutating boundaries, which are unsafe snapshot points and skipped),
+// then times a full crash recovery of a second Service from the
+// latest snapshot + journal; the recovery section reports deterministic
+// size/group/fast-forward counts and a recovery_match bit (the recovered
+// state re-encodes to the live state's snapshot byte-for-byte), plus a
+// machine-dependent recover_ms row. docs/durability.md has the formats.
+//
 // --slo-json=PATH writes the summary (BENCH_svc.json in CI).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -195,6 +205,11 @@ int main(int argc, char** argv) {
   opt.latency_hook = [&](const svc::Request& req, bool ok, double wall_ms) {
     samples.push_back({req.op, req.deadline_ms, wall_ms, ok});
   };
+  std::ostringstream journal;
+  std::string latest_snapshot;
+  opt.journal = &journal;
+  opt.snapshot_every = 5;
+  opt.snapshot_sink = [&](const std::string& bytes) { latest_snapshot = bytes; };
 
   svc::Service service(opt);
   std::istringstream in(script_text);
@@ -224,6 +239,72 @@ int main(int argc, char** argv) {
   row("digest", digest);
   table.print("service session (deterministic)");
 
+  // -- crash recovery: rebuild a second service from snapshot + journal ------
+  const std::string journal_bytes = journal.str();
+  svc::durable::JournalContents contents;
+  svc::durable::JournalError jerr;
+  if (!svc::durable::read_journal(journal_bytes, contents, jerr)) {
+    std::fprintf(stderr, "bench_service: journal failed validation: %s\n",
+                 jerr.code.c_str());
+    return 1;
+  }
+  std::uint64_t journal_records = 0;
+  for (const svc::durable::JournalGroup& g : contents.groups)
+    for (const svc::durable::JournalEntry& e : g.entries)
+      if (e.is_record) ++journal_records;
+  svc::durable::ServiceSnapshot snap;
+  bool have_snapshot = false;
+  if (!latest_snapshot.empty()) {
+    svc::durable::SnapshotError serr;
+    if (!svc::durable::decode_snapshot(latest_snapshot, snap, serr)) {
+      std::fprintf(stderr, "bench_service: snapshot failed validation: %s\n",
+                   serr.code.c_str());
+      return 1;
+    }
+    have_snapshot = true;
+  }
+
+  svc::ServiceOptions ropt;
+  ropt.max_batch = opt.max_batch;
+  ropt.epsilon = eps;
+  ropt.incremental = incremental;
+  ropt.slo.augmentations_per_ms = augs_per_ms;
+  svc::Service recovered(ropt);
+  svc::RecoverStats rstats;
+  std::string rerror;
+  const auto r0 = std::chrono::steady_clock::now();
+  if (!recovered.recover(have_snapshot ? &snap : nullptr, contents, rstats,
+                         rerror)) {
+    std::fprintf(stderr, "bench_service: recovery failed: %s\n", rerror.c_str());
+    return 1;
+  }
+  const double recover_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                r0)
+          .count();
+  const bool recovery_match =
+      svc::durable::encode_snapshot(recovered.snapshot_state()) ==
+      svc::durable::encode_snapshot(service.snapshot_state());
+
+  util::Table rtable({"metric", "value"});
+  auto rrow = [&](const char* name, const std::string& value) {
+    rtable.begin_row();
+    rtable.add(name);
+    rtable.add(value);
+  };
+  rrow("journal_bytes", std::to_string(journal_bytes.size()));
+  rrow("journal_records", std::to_string(journal_records));
+  rrow("journal_groups", std::to_string(contents.groups.size()));
+  rrow("snapshot_bytes", std::to_string(latest_snapshot.size()));
+  rrow("recover_fast", std::to_string(rstats.groups_fast));
+  rrow("recover_reexec", std::to_string(rstats.groups_reexec));
+  rrow("recovery_match", recovery_match ? "1" : "0");
+  rtable.print("crash recovery (deterministic)");
+  if (!recovery_match) {
+    std::fprintf(stderr, "bench_service: recovered state diverged from live state\n");
+    return 1;
+  }
+
   // -- timing section (machine-dependent; never part of the digest) ----------
   std::vector<double> lat;
   std::size_t deadlined = 0, met = 0;
@@ -243,6 +324,7 @@ int main(int argc, char** argv) {
   std::printf("  latency_ms  p50 %.4f  p99 %.4f  max %.4f\n", p50, p99, pmax);
   std::printf("  slo         deadlined %zu  met %zu  hit_rate %.3f\n", deadlined, met,
               hit);
+  std::printf("  recover_ms  %.4f\n", recover_ms);
 
   if (!slo_json.empty()) {
     obs::JsonWriter w;
@@ -284,6 +366,25 @@ int main(int argc, char** argv) {
     w.double_value(p99);
     w.key("max");
     w.double_value(pmax);
+    w.end_object();
+    w.key("recovery");
+    w.begin_object();
+    w.key("journal_bytes");
+    w.uint_value(journal_bytes.size());
+    w.key("journal_records");
+    w.uint_value(journal_records);
+    w.key("journal_groups");
+    w.uint_value(contents.groups.size());
+    w.key("snapshot_bytes");
+    w.uint_value(latest_snapshot.size());
+    w.key("recover_fast");
+    w.uint_value(rstats.groups_fast);
+    w.key("recover_reexec");
+    w.uint_value(rstats.groups_reexec);
+    w.key("match");
+    w.bool_value(recovery_match);
+    w.key("recover_ms");
+    w.double_value(recover_ms);
     w.end_object();
     w.end_object();
     std::ofstream f(slo_json);

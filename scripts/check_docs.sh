@@ -127,8 +127,8 @@ def covered(lines, i):
     prev = lines[j].strip()
     return prev.startswith(("//", "///", "/*", "*", "*/")) or prev.endswith("*/")
 
-HEADER_DIRS = ["src/graph", "src/inc", "src/mcf", "src/fault", "src/svc", "src/te",
-               "src/design"]
+HEADER_DIRS = ["src/graph", "src/inc", "src/mcf", "src/fault", "src/svc",
+               "src/svc/durable", "src/te", "src/design"]
 for d in HEADER_DIRS:
     for name in sorted(os.listdir(os.path.join(root, d))):
         if not name.endswith(".hpp"):

@@ -1,0 +1,34 @@
+#pragma once
+// Snapshot invariant battery: structural validation of a decoded
+// `# flattree-svc-snapshot v1` (svc/durable/snapshot.hpp) beyond what the
+// CRC trailer proves. The CRC says "these are the bytes that were
+// written"; this battery says "these bytes describe a state the service
+// could actually have been in" — counter identities, session ordering,
+// and replayability of every history record. The service runs it under
+// --selfcheck after every periodic snapshot and before every recovery.
+//
+// Note on build placement: the declaration lives in src/check (it is a
+// validator and reports through check::Report), but the definition is
+// compiled into ft_svc — it depends on svc types and ft_svc already links
+// ft_check, so compiling it into ft_check would cycle the library graph.
+
+#include "check/report.hpp"
+
+namespace flattree::svc::durable {
+// fwd: the decoded snapshot under validation
+struct ServiceSnapshot;
+}  // namespace flattree::svc::durable
+
+namespace flattree::check {
+
+/// Validates a decoded snapshot. Codes: snapshot.counter (counter
+/// identities: accepted == sum(by_op), lines == accepted + rejected,
+/// shed counters bounded by rejected, journal_lines <= accepted,
+/// batches and max_batch bounded by accepted),
+/// snapshot.session (shard ids out of range or not strictly ascending),
+/// snapshot.record (seq not strictly increasing / beyond `lines`, op not
+/// mutating, history not starting at `build`, or a canonical line that
+/// fails parse_request or disagrees with its session/op tags).
+Report validate_snapshot(const svc::durable::ServiceSnapshot& s);
+
+}  // namespace flattree::check

@@ -1,0 +1,74 @@
+#include "fault/crash.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace flattree::fault {
+
+namespace {
+
+void normalize(std::vector<std::uint64_t>& cuts) {
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+}
+
+}  // namespace
+
+CrashPlan crash_after_each_frame(const std::vector<std::uint64_t>& boundaries) {
+  CrashPlan p;
+  p.cuts = boundaries;
+  normalize(p.cuts);
+  return p;
+}
+
+CrashPlan crash_every_byte(std::uint64_t begin, std::uint64_t end) {
+  CrashPlan p;
+  if (begin > end) return p;
+  p.cuts.reserve(static_cast<std::size_t>(end - begin + 1));
+  for (std::uint64_t b = begin; b <= end; ++b) p.cuts.push_back(b);
+  return p;
+}
+
+CrashPlan merge_plans(const CrashPlan& a, const CrashPlan& b) {
+  CrashPlan p;
+  p.cuts.reserve(a.cuts.size() + b.cuts.size());
+  p.cuts.insert(p.cuts.end(), a.cuts.begin(), a.cuts.end());
+  p.cuts.insert(p.cuts.end(), b.cuts.begin(), b.cuts.end());
+  normalize(p.cuts);
+  return p;
+}
+
+CrashPlan sample_cuts(const CrashPlan& plan, std::size_t max_cuts,
+                      std::uint64_t seed) {
+  if (plan.cuts.size() <= max_cuts || max_cuts == 0) return plan;
+  CrashPlan out;
+  if (max_cuts == 1) {
+    out.cuts.push_back(plan.cuts.front());
+    return out;
+  }
+  // Endpoints are always in the sample; the middle is chosen by ranking
+  // each index with an independent substream draw, so the selection is a
+  // pure function of (plan, max_cuts, seed).
+  const std::size_t n = plan.cuts.size();
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(n - 2);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    util::Rng rng = util::Rng::substream(seed, static_cast<std::uint64_t>(i));
+    ranked.emplace_back(rng(), i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::size_t> keep;
+  keep.reserve(max_cuts);
+  keep.push_back(0);
+  for (std::size_t j = 0; j < max_cuts - 2 && j < ranked.size(); ++j)
+    keep.push_back(ranked[j].second);
+  keep.push_back(n - 1);
+  std::sort(keep.begin(), keep.end());
+  out.cuts.reserve(keep.size());
+  for (std::size_t i : keep) out.cuts.push_back(plan.cuts[i]);
+  return out;
+}
+
+}  // namespace flattree::fault

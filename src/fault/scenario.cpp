@@ -1,7 +1,9 @@
 #include "fault/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -173,21 +175,46 @@ Scenario load_scenario(std::istream& in) {
       throw std::runtime_error("load_scenario: line " + std::to_string(line_no) + ": " +
                                why);
     };
+    // Times come in as whole tokens through strtod so that "inf"/"nan"
+    // spellings are seen and rejected uniformly; operator>> on double is
+    // implementation-varying for them, and a non-finite time would poison
+    // every downstream comparison silently.
+    auto finite_token = [&](double& out_v, const char* why) {
+      std::string tok;
+      if (!(ls >> tok)) fail(why);
+      char* tail = nullptr;
+      double v = std::strtod(tok.c_str(), &tail);
+      if (tail == nullptr || *tail != '\0') fail(why);
+      if (!std::isfinite(v)) fail("non-finite time");
+      out_v = v;
+    };
     if (tag == "duration") {
-      if (!(ls >> s.duration)) fail("bad duration");
+      finite_token(s.duration, "bad duration");
     } else if (tag == "seed") {
       if (!(ls >> s.seed)) fail("bad seed");
     } else if (tag == "e") {
       FaultEvent e;
       std::string kind;
-      if (!(ls >> e.time >> kind >> e.a >> e.b)) fail("truncated event");
+      finite_token(e.time, "truncated event");
+      if (!(ls >> kind >> e.a >> e.b)) fail("truncated event");
       if (!parse_fault_kind(kind, e.kind)) fail("unknown fault kind");
       s.events.push_back(e);
     } else {
       fail("unknown directive");
     }
   }
+  // Hand-edited traces may be out of order; resorting is fine, but an
+  // exact duplicate (same time, kind, entity) is a double-apply bug in the
+  // making — FaultState would double-count the down — so refuse it.
   std::sort(s.events.begin(), s.events.end());
+  for (std::size_t i = 1; i < s.events.size(); ++i) {
+    if (s.events[i] == s.events[i - 1]) {
+      const FaultEvent& e = s.events[i];
+      throw std::runtime_error("load_scenario: duplicate event: " + fmt_double(e.time) +
+                               " " + to_string(e.kind) + " " + std::to_string(e.a) +
+                               " " + std::to_string(e.b));
+    }
+  }
   c_loaded.add(s.events.size());
   return s;
 }

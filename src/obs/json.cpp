@@ -453,8 +453,9 @@ struct TreeParser {
 
   bool parse_string(std::string& out) {
     const char* start = p;
-    if (p >= end || *p != '"')
-      return fail("json.expected_string", "expected '\"'", p);
+    if (p >= end)
+      return fail("json.truncated", "input ends where a string was expected", p);
+    if (*p != '"') return fail("json.expected_string", "expected '\"'", p);
     ++p;
     out.clear();
     while (p < end) {
@@ -466,7 +467,7 @@ struct TreeParser {
       if (c == '\\') {
         const char* esc = p;
         ++p;
-        if (p >= end) return fail("json.bad_escape", "truncated escape", esc);
+        if (p >= end) return fail("json.truncated", "input ends mid-escape", esc);
         char e = *p;
         switch (e) {
           case '"': out += '"'; break;
@@ -481,7 +482,9 @@ struct TreeParser {
             std::uint32_t cp = 0;
             for (int i = 0; i < 4; ++i) {
               ++p;
-              if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
+              if (p >= end)
+                return fail("json.truncated", "input ends mid-\\u escape", esc);
+              if (!std::isxdigit(static_cast<unsigned char>(*p)))
                 return fail("json.bad_escape", "bad \\u escape", esc);
               char h = *p;
               cp = cp * 16 +
@@ -515,14 +518,18 @@ struct TreeParser {
         ++p;
       }
     }
-    return fail("json.unterminated_string", "unterminated string", start);
+    // The input ended inside the string (covers cuts mid-UTF-8 sequence:
+    // the lead/continuation bytes were consumed as ordinary string bytes
+    // above, never read past `end`).
+    return fail("json.truncated", "input ends inside a string", start);
   }
 
   bool parse_number(JsonValue& out) {
     const char* start = p;
     bool integral = true;
     if (p < end && *p == '-') ++p;
-    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+    if (p >= end) return fail("json.truncated", "input ends mid-number", start);
+    if (!std::isdigit(static_cast<unsigned char>(*p)))
       return fail("json.bad_number", "malformed number", start);
     if (*p == '0') {
       ++p;
@@ -534,7 +541,8 @@ struct TreeParser {
     if (p < end && *p == '.') {
       integral = false;
       ++p;
-      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+      if (p >= end) return fail("json.truncated", "input ends mid-number", start);
+      if (!std::isdigit(static_cast<unsigned char>(*p)))
         return fail("json.bad_number", "missing fraction digits", start);
       while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
     }
@@ -542,7 +550,8 @@ struct TreeParser {
       integral = false;
       ++p;
       if (p < end && (*p == '+' || *p == '-')) ++p;
-      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+      if (p >= end) return fail("json.truncated", "input ends mid-number", start);
+      if (!std::isdigit(static_cast<unsigned char>(*p)))
         return fail("json.bad_number", "missing exponent digits", start);
       while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
     }
@@ -574,9 +583,11 @@ struct TreeParser {
     skip_ws();
     bool ok = false;
     if (p >= end) {
-      ok = fail("json.expected_value", "unexpected end of input", p);
+      // depth > 1 means a container above us is still open, so the input
+      // was cut mid-document; depth == 1 is a genuinely empty document.
+      ok = depth > 1 ? fail("json.truncated", "input ends mid-document", p)
+                     : fail("json.expected_value", "unexpected end of input", p);
     } else if (*p == '{') {
-      const char* open = p;
       ++p;
       out = JsonValue::make_object();
       skip_ws();
@@ -595,7 +606,11 @@ struct TreeParser {
             break;
           }
           skip_ws();
-          if (p >= end || *p != ':') {
+          if (p >= end) {
+            fail("json.truncated", "input ends before ':'", p);
+            break;
+          }
+          if (*p != ':') {
             fail("json.expected_colon", "expected ':' after object key", p);
             break;
           }
@@ -611,15 +626,15 @@ struct TreeParser {
           if (p < end && *p == '}') {
             ++p;
             ok = true;
+          } else if (p >= end) {
+            fail("json.truncated", "input ends inside an object", p);
           } else {
-            fail("json.expected_comma_or_close", "expected ',' or '}'",
-                 p < end ? p : open);
+            fail("json.expected_comma_or_close", "expected ',' or '}'", p);
           }
           break;
         }
       }
     } else if (*p == '[') {
-      const char* open = p;
       ++p;
       out = JsonValue::make_array();
       skip_ws();
@@ -639,9 +654,10 @@ struct TreeParser {
           if (p < end && *p == ']') {
             ++p;
             ok = true;
+          } else if (p >= end) {
+            fail("json.truncated", "input ends inside an array", p);
           } else {
-            fail("json.expected_comma_or_close", "expected ',' or ']'",
-                 p < end ? p : open);
+            fail("json.expected_comma_or_close", "expected ',' or ']'", p);
           }
           break;
         }
@@ -669,7 +685,15 @@ struct TreeParser {
         out = JsonValue::make_null();
         ok = true;
       } else {
-        ok = fail("json.bad_literal", "expected true/false/null", start);
+        // "tru" / "fals" / "n" at end of input is a cut, not a typo.
+        auto cut_of = [&](const char* word) {
+          std::size_t avail = static_cast<std::size_t>(end - start);
+          return avail < std::strlen(word) && std::strncmp(start, word, avail) == 0;
+        };
+        if (cut_of("true") || cut_of("false") || cut_of("null"))
+          ok = fail("json.truncated", "input ends mid-literal", start);
+        else
+          ok = fail("json.bad_literal", "expected true/false/null", start);
       }
     } else if (*p == '-' || std::isdigit(static_cast<unsigned char>(*p))) {
       ok = parse_number(out);

@@ -1,0 +1,226 @@
+#include "svc/durable/snapshot.hpp"
+
+#include "util/crc32.hpp"
+
+namespace flattree::svc::durable {
+
+namespace {
+
+std::string u64s(std::uint64_t v) { return std::to_string(v); }
+
+/// CRC payload of a record line (same framing as journal v2 records).
+std::uint32_t record_crc(std::uint64_t seq, const std::string& canonical) {
+  return util::crc32(u64s(seq) + ' ' + canonical);
+}
+
+bool take_u64(const std::string& s, std::size_t& pos, std::uint64_t& out) {
+  if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') return false;
+  std::uint64_t v = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+    ++pos;
+  }
+  out = v;
+  return true;
+}
+
+bool take_space(const std::string& s, std::size_t& pos) {
+  if (pos >= s.size() || s[pos] != ' ') return false;
+  ++pos;
+  return true;
+}
+
+bool take_word(const std::string& s, std::size_t& pos, std::string& out) {
+  std::size_t start = pos;
+  while (pos < s.size() && s[pos] != ' ') ++pos;
+  if (pos == start) return false;
+  out = s.substr(start, pos - start);
+  return true;
+}
+
+}  // namespace
+
+std::string encode_snapshot(const ServiceSnapshot& s) {
+  std::string payload;
+  payload += "stats";
+  const SnapshotStats& st = s.stats;
+  const std::uint64_t scalars[] = {st.lines,          st.accepted,
+                                   st.rejected,       st.fault_events,
+                                   st.solves,         st.truncated_solves,
+                                   st.certified_solves, st.batches,
+                                   st.max_batch,      st.journal_lines,
+                                   st.shed_oversize,  st.shed_queue,
+                                   st.shed_deadline};
+  for (std::uint64_t v : scalars) payload += ' ' + u64s(v);
+  payload += "\nops";
+  for (std::size_t i = 0; i < kOpCount; ++i) payload += ' ' + u64s(st.by_op[i]);
+  payload += "\ngroups " + u64s(s.groups_committed) + '\n';
+  for (const SnapshotSession& sess : s.sessions) {
+    payload += "session " + u64s(sess.id) + ' ' + u64s(sess.records.size()) + '\n';
+    for (const SnapshotRecord& r : sess.records) {
+      payload += r.op + ' ' + u64s(r.canonical.size()) + ' ' +
+                 util::crc32_hex(record_crc(r.seq, r.canonical)) + ' ' +
+                 u64s(r.seq) + ' ' + r.canonical + '\n';
+    }
+  }
+  std::string out;
+  out += kSnapshotHeaderV1;
+  out += '\n';
+  out += payload;
+  out += "end " + util::crc32_hex(util::crc32(payload)) + '\n';
+  return out;
+}
+
+bool decode_snapshot(const std::string& bytes, ServiceSnapshot& out,
+                     SnapshotError& err) {
+  out = ServiceSnapshot{};
+
+  // Split into complete lines; any unterminated final segment means the
+  // snapshot was cut mid-write.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      err = {"svc.snapshot.truncated", "snapshot ends with an unterminated line",
+             lines.size() + 1};
+      return false;
+    }
+    lines.push_back(bytes.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (lines.empty() || lines[0] != kSnapshotHeaderV1) {
+    err = {"svc.snapshot.bad_header", "first line is not the v1 snapshot header", 1};
+    return false;
+  }
+  if (lines.size() < 2 || lines.back().rfind("end ", 0) != 0) {
+    err = {"svc.snapshot.truncated", "snapshot has no `end` trailer",
+           lines.size()};
+    return false;
+  }
+
+  // Verify the trailer CRC over the payload region (between the header
+  // line and the `end` line) before trusting any field.
+  {
+    const std::string& endline = lines.back();
+    std::uint32_t want = 0;
+    if (!util::parse_crc32_hex(endline.substr(4), want)) {
+      err = {"svc.snapshot.corrupt", "malformed `end` trailer", lines.size()};
+      return false;
+    }
+    const std::size_t payload_begin = lines[0].size() + 1;
+    const std::size_t payload_end = bytes.size() - endline.size() - 1;
+    std::string payload = bytes.substr(payload_begin, payload_end - payload_begin);
+    if (util::crc32(payload) != want) {
+      err = {"svc.snapshot.corrupt", "payload CRC mismatch", lines.size()};
+      return false;
+    }
+  }
+
+  std::size_t li = 1;
+  const std::size_t last = lines.size() - 1;  // the `end` line
+  auto structural = [&](const char* tag, std::vector<std::uint64_t>& vals,
+                        std::size_t expect) {
+    if (li >= last) {
+      err = {"svc.snapshot.truncated",
+             std::string("missing `") + tag + "` line", li + 1};
+      return false;
+    }
+    const std::string& line = lines[li];
+    std::size_t p = 0;
+    std::string word;
+    if (!take_word(line, p, word) || word != tag) {
+      err = {"svc.snapshot.corrupt", std::string("expected `") + tag + "` line",
+             li + 1};
+      return false;
+    }
+    vals.clear();
+    while (p < line.size()) {
+      std::uint64_t v = 0;
+      if (!take_space(line, p) || !take_u64(line, p, v)) {
+        err = {"svc.snapshot.corrupt", std::string("malformed `") + tag + "` line",
+               li + 1};
+        return false;
+      }
+      vals.push_back(v);
+    }
+    if (vals.size() != expect) {
+      err = {"svc.snapshot.corrupt",
+             std::string("`") + tag + "` line has " + u64s(vals.size()) +
+                 " fields, expected " + u64s(expect),
+             li + 1};
+      return false;
+    }
+    ++li;
+    return true;
+  };
+
+  std::vector<std::uint64_t> vals;
+  if (!structural("stats", vals, 13)) return false;
+  SnapshotStats& st = out.stats;
+  st.lines = vals[0];
+  st.accepted = vals[1];
+  st.rejected = vals[2];
+  st.fault_events = vals[3];
+  st.solves = vals[4];
+  st.truncated_solves = vals[5];
+  st.certified_solves = vals[6];
+  st.batches = vals[7];
+  st.max_batch = vals[8];
+  st.journal_lines = vals[9];
+  st.shed_oversize = vals[10];
+  st.shed_queue = vals[11];
+  st.shed_deadline = vals[12];
+  if (!structural("ops", vals, kOpCount)) return false;
+  for (std::size_t i = 0; i < kOpCount; ++i) st.by_op[i] = vals[i];
+  if (!structural("groups", vals, 1)) return false;
+  out.groups_committed = vals[0];
+
+  while (li < last) {
+    const std::string& line = lines[li];
+    std::size_t p = 0;
+    std::string word;
+    std::uint64_t id = 0, count = 0;
+    if (!take_word(line, p, word) || word != "session" || !take_space(line, p) ||
+        !take_u64(line, p, id) || !take_space(line, p) || !take_u64(line, p, count) ||
+        p != line.size()) {
+      err = {"svc.snapshot.corrupt", "expected `session` line", li + 1};
+      return false;
+    }
+    ++li;
+    SnapshotSession sess;
+    sess.id = static_cast<std::uint32_t>(id);
+    for (std::uint64_t r = 0; r < count; ++r) {
+      if (li >= last) {
+        err = {"svc.snapshot.truncated", "session record list cut short", li + 1};
+        return false;
+      }
+      const std::string& rline = lines[li];
+      std::size_t q = 0;
+      SnapshotRecord rec;
+      std::uint64_t len = 0;
+      std::string crc_hex;
+      std::uint32_t crc = 0;
+      if (!take_word(rline, q, rec.op) || !take_space(rline, q) ||
+          !take_u64(rline, q, len) || !take_space(rline, q) ||
+          !take_word(rline, q, crc_hex) || !util::parse_crc32_hex(crc_hex, crc) ||
+          !take_space(rline, q) || !take_u64(rline, q, rec.seq) ||
+          !take_space(rline, q)) {
+        err = {"svc.snapshot.bad_record", "malformed session record line", li + 1};
+        return false;
+      }
+      rec.canonical = rline.substr(q);
+      if (rec.canonical.size() != len || record_crc(rec.seq, rec.canonical) != crc) {
+        err = {"svc.snapshot.bad_record",
+               "session record length or CRC mismatch", li + 1};
+        return false;
+      }
+      sess.records.push_back(std::move(rec));
+      ++li;
+    }
+    out.sessions.push_back(std::move(sess));
+  }
+  return true;
+}
+
+}  // namespace flattree::svc::durable

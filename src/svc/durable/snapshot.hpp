@@ -1,0 +1,99 @@
+#pragma once
+// Snapshot v1: the canonical `# flattree-svc-snapshot v1` text encoding of
+// full service state (ISSUE 10 tentpole). A snapshot is command-sourced:
+// instead of serializing engine internals, it stores each session's
+// *mutating request history* (the canonical build/traffic/fault/convert/
+// expand lines, in seq order). decode + re-executing that history through
+// the normal eval path rebuilds byte-identical session state — the same
+// warm/cold bitwise-equality invariant the service already relies on.
+// A successful `build` resets its session, so the service compacts the
+// history at that point; histories stay proportional to mutations since
+// the last build, not to run length.
+//
+// Grammar (line-oriented; every line '\n'-terminated):
+//
+//   # flattree-svc-snapshot v1
+//   stats <13 u64 counters>          deterministic ServiceStats scalars
+//   ops <kOpCount u64s>              accepted_by_op, indexed by svc::Op
+//   groups <n>                       journal groups committed so far
+//   session <id> <count>             then `count` record lines:
+//   <op> <len> <crc> <seq> <canonical>
+//   end <crc>
+//
+// Record lines reuse the journal v2 record framing (len = canonical byte
+// length, crc = CRC-32 of "<seq> <canonical>"); the `end` trailer CRCs the
+// whole payload region between the header line and itself. The encoding is
+// canonical: encode(decode(s)) == s byte for byte for any snapshot this
+// module produced, which is what the snapshot round-trip selfcheck
+// asserts after every periodic snapshot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+
+namespace flattree::svc::durable {
+
+/// First line of every v1 snapshot.
+inline constexpr char kSnapshotHeaderV1[] = "# flattree-svc-snapshot v1";
+
+/// The deterministic ServiceStats scalars carried by the `stats` line, in
+/// encoding order. Restored verbatim on recovery (never recounted).
+struct SnapshotStats {
+  std::uint64_t lines = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t fault_events = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t truncated_solves = 0;
+  std::uint64_t certified_solves = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t journal_lines = 0;
+  std::uint64_t shed_oversize = 0;
+  std::uint64_t shed_queue = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t by_op[kOpCount] = {};  ///< accepted_by_op (the `ops` line)
+};
+
+/// One replayable mutating request in a session's history.
+struct SnapshotRecord {
+  std::string op;         ///< wire token (build/traffic/fault/convert/expand)
+  std::uint64_t seq = 0;  ///< original 1-based input line number
+  std::string canonical;  ///< canonical request JSON
+};
+
+/// One session shard's history (only shards with state are encoded).
+struct SnapshotSession {
+  std::uint32_t id = 0;
+  std::vector<SnapshotRecord> records;
+};
+
+/// Full decoded snapshot: counters, journal-group cursor (snapshot cadence
+/// stays aligned across recovery), and per-session histories.
+struct ServiceSnapshot {
+  SnapshotStats stats;
+  std::uint64_t groups_committed = 0;
+  std::vector<SnapshotSession> sessions;
+};
+
+/// Why a snapshot was refused. `line` is the 1-based line number of the
+/// offending snapshot line (0 when the failure is not line-specific).
+struct SnapshotError {
+  std::string code;
+  std::string message;
+  std::uint64_t line = 0;
+};
+
+/// Renders the canonical v1 encoding (a decode fixpoint).
+std::string encode_snapshot(const ServiceSnapshot& s);
+
+/// Parses and CRC-validates snapshot bytes. Stable codes:
+/// svc.snapshot.bad_header, svc.snapshot.truncated (missing/incomplete
+/// trailer), svc.snapshot.corrupt (structural line or trailer CRC),
+/// svc.snapshot.bad_record (record line framing or CRC).
+bool decode_snapshot(const std::string& bytes, ServiceSnapshot& out,
+                     SnapshotError& err);
+
+}  // namespace flattree::svc::durable

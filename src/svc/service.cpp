@@ -1,12 +1,15 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
 
+#include "check/snapshot_check.hpp"
 #include "exec/parallel_for.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -19,6 +22,10 @@ namespace {
 obs::Counter c_requests("svc.requests");
 obs::Counter c_rejected("svc.rejected");
 obs::Counter c_batches("svc.batches");
+obs::Counter c_shed("svc.overload.shed");
+obs::Counter c_snapshots("svc.durable.snapshots");
+obs::Counter c_rec_fast("svc.durable.recover_fast");
+obs::Counter c_rec_reexec("svc.durable.recover_reexec");
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(
@@ -26,11 +33,38 @@ double now_ms() {
       .count();
 }
 
+/// True for the state-changing session ops that enter replay histories.
+bool session_mutating(Op op) {
+  switch (op) {
+    case Op::Build:
+    case Op::Traffic:
+    case Op::Fault:
+    case Op::Convert:
+    case Op::Expand:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void bump_shed(ServiceStats& st, const std::string& gap_class) {
+  if (gap_class == "oversize")
+    ++st.shed_oversize;
+  else if (gap_class == "queue")
+    ++st.shed_queue;
+  else if (gap_class == "deadline")
+    ++st.shed_deadline;
+}
+
 }  // namespace
 
 Service::Service(ServiceOptions opt) : opt_(std::move(opt)) {
   if (opt_.max_batch == 0) opt_.max_batch = 1;
   sessions_.resize(kMaxSessions);
+  histories_.resize(kMaxSessions);
+  if (opt_.journal != nullptr)
+    writer_ = std::make_unique<durable::JournalWriter>(*opt_.journal,
+                                                       opt_.journal_resume);
 }
 
 void Service::fill_stats_payload(obs::JsonValue& payload) const {
@@ -52,6 +86,10 @@ void Service::fill_stats_payload(obs::JsonValue& payload) const {
   put(payload, "batches", jint(static_cast<std::int64_t>(stats_.batches)));
   put(payload, "max_batch", jint(static_cast<std::int64_t>(stats_.max_batch)));
   put(payload, "journal_lines", jint(static_cast<std::int64_t>(stats_.journal_lines)));
+  put(payload, "shed_oversize", jint(static_cast<std::int64_t>(stats_.shed_oversize)));
+  put(payload, "shed_queue", jint(static_cast<std::int64_t>(stats_.shed_queue)));
+  put(payload, "shed_deadline",
+      jint(static_cast<std::int64_t>(stats_.shed_deadline)));
 }
 
 Service::EvalResult Service::eval(const Request& req, bool sequential) {
@@ -172,6 +210,18 @@ Service::EvalResult Service::eval(const Request& req, bool sequential) {
   return r;
 }
 
+void Service::capture_history(const Request& req) {
+  if (!session_mutating(req.op)) return;
+  // A successful build resets the shard, so everything before it is
+  // unreachable state: compact the history down to this build.
+  if (req.op == Op::Build) histories_[req.session].clear();
+  durable::SnapshotRecord rec;
+  rec.op = to_string(req.op);
+  rec.seq = req.seq;
+  rec.canonical = req.canonical;
+  histories_[req.session].push_back(std::move(rec));
+}
+
 void Service::emit(std::ostream& out, const Request& req, EvalResult&& r) {
   out << r.response << '\n';
   if (r.ok) {
@@ -181,76 +231,510 @@ void Service::emit(std::ostream& out, const Request& req, EvalResult&& r) {
     stats_.solves += r.tally.solves;
     stats_.truncated_solves += r.tally.truncated;
     stats_.certified_solves += r.tally.certified;
-    if (opt_.journal != nullptr) {
-      *opt_.journal << req.canonical << '\n';
+    if (writer_) {
+      writer_->append_record(req.seq, req.canonical);
+      durable::JournalTally t;
+      t.solves = r.tally.solves;
+      t.truncated = r.tally.truncated;
+      t.certified = r.tally.certified;
+      t.fault_events = r.tally.fault_events;
+      writer_->add_tally(t);
       ++stats_.journal_lines;
     }
+    capture_history(req);
   } else {
     ++stats_.rejected;
+    if (writer_) writer_->append_gap(req.seq, "reject");
     if (obs::enabled()) c_rejected.inc();
   }
   if (obs::enabled()) c_requests.inc();
   if (opt_.latency_hook) opt_.latency_hook(req, r.ok, r.wall_ms);
 }
 
-void Service::flush(std::vector<Request>& pending, std::ostream& out) {
+void Service::flush(std::vector<PendingReq>& pending, std::ostream& out) {
   if (pending.empty()) return;
-  ++stats_.batches;
-  if (pending.size() > stats_.max_batch) stats_.max_batch = pending.size();
-  if (obs::enabled()) c_batches.inc();
+
+  std::vector<std::size_t> live;
+  live.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    if (!pending[i].shed) live.push_back(i);
 
   std::vector<EvalResult> results(pending.size());
-  if (pending.size() == 1) {
-    results[0] = eval(pending[0], /*sequential=*/true);
-  } else {
+  if (live.size() == 1) {
+    results[live[0]] = eval(pending[live[0]].req, /*sequential=*/true);
+  } else if (live.size() > 1) {
     // Read-only fan-out: every worker evaluates cold (bitwise-equal to the
     // warm sequential path), responses land in per-index slots and are
     // emitted in input order below.
-    exec::parallel_for(pending.size(), [&](std::size_t i) {
-      results[i] = eval(pending[i], /*sequential=*/false);
+    exec::parallel_for(live.size(), [&](std::size_t i) {
+      results[live[i]] = eval(pending[live[i]].req, /*sequential=*/false);
     });
   }
-  for (std::size_t i = 0; i < pending.size(); ++i)
-    emit(out, pending[i], std::move(results[i]));
+
+  // Batch accounting counts *accepted* requests, so recovery can rebuild
+  // it from the journal's record frames.
+  std::uint64_t accepted_here = 0;
+  for (std::size_t i : live)
+    if (results[i].ok) ++accepted_here;
+  if (accepted_here > 0) {
+    ++stats_.batches;
+    if (accepted_here > stats_.max_batch) stats_.max_batch = accepted_here;
+    if (obs::enabled()) c_batches.inc();
+  }
+
+  const std::uint64_t last_seq = pending.back().req.seq;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PendingReq& p = pending[i];
+    if (p.shed) {
+      out << render_error(p.req, p.err) << '\n';
+      ++stats_.rejected;
+      bump_shed(stats_, p.gap_class);
+      if (writer_) writer_->append_gap(p.req.seq, p.gap_class);
+      if (obs::enabled()) {
+        c_requests.inc();
+        c_rejected.inc();
+        c_shed.inc();
+      }
+      if (opt_.latency_hook) opt_.latency_hook(p.req, false, 0.0);
+    } else {
+      emit(out, p.req, std::move(results[i]));
+    }
+  }
   pending.clear();
+  commit_group(last_seq);
+}
+
+void Service::commit_group(std::uint64_t last_seq) {
+  if (writer_) writer_->commit();
+  ++groups_committed_;
+  last_committed_seq_ = last_seq;
+  maybe_snapshot();
+}
+
+void Service::gap_and_seal(std::uint64_t seq, const std::string& gap_class) {
+  if (writer_) writer_->append_gap(seq, gap_class);
+  commit_group(seq);
+}
+
+void Service::maybe_snapshot() {
+  if (!opt_.snapshot_sink || opt_.snapshot_every == 0) return;
+  if (groups_committed_ % opt_.snapshot_every != 0) return;
+  // Only snapshot at safe points: every processed line is durable, so a
+  // recovery from this snapshot resumes exactly after stats.lines. When a
+  // cadence tick lands on an unsafe commit (the flush forced by a boundary
+  // whose own line is not yet committed), it is skipped — deterministically,
+  // so recovered and uninterrupted runs still snapshot at the same points.
+  if (stats_.lines != last_committed_seq_) return;
+  durable::ServiceSnapshot snap = snapshot_state();
+  std::string bytes = durable::encode_snapshot(snap);
+  if (opt_.selfcheck) {
+    check::Report rep = check::validate_snapshot(snap);
+    durable::ServiceSnapshot back;
+    durable::SnapshotError serr;
+    if (!durable::decode_snapshot(bytes, back, serr))
+      rep.add("snapshot.roundtrip", "decode of a fresh snapshot failed: " + serr.code);
+    else if (durable::encode_snapshot(back) != bytes)
+      rep.add("snapshot.roundtrip", "encode(decode(s)) != s");
+    if (!rep.ok()) {
+      violations_ += rep.violations.size();
+      std::string text = rep.to_string();
+      std::fprintf(stderr, "svc snapshot selfcheck[line %llu]: %zu violation(s)\n%s\n",
+                   static_cast<unsigned long long>(stats_.lines),
+                   rep.violations.size(), text.c_str());
+    }
+  }
+  opt_.snapshot_sink(bytes);
+  if (obs::enabled()) c_snapshots.inc();
+}
+
+durable::ServiceSnapshot Service::snapshot_state() const {
+  durable::ServiceSnapshot s;
+  durable::SnapshotStats& st = s.stats;
+  st.lines = stats_.lines;
+  st.accepted = stats_.accepted;
+  st.rejected = stats_.rejected;
+  st.fault_events = stats_.fault_events;
+  st.solves = stats_.solves;
+  st.truncated_solves = stats_.truncated_solves;
+  st.certified_solves = stats_.certified_solves;
+  st.batches = stats_.batches;
+  st.max_batch = stats_.max_batch;
+  st.journal_lines = stats_.journal_lines;
+  st.shed_oversize = stats_.shed_oversize;
+  st.shed_queue = stats_.shed_queue;
+  st.shed_deadline = stats_.shed_deadline;
+  for (std::size_t i = 0; i < kOpCount; ++i) st.by_op[i] = stats_.accepted_by_op[i];
+  s.groups_committed = groups_committed_;
+  for (std::uint32_t id = 0; id < kMaxSessions; ++id) {
+    if (histories_[id].empty()) continue;
+    durable::SnapshotSession sess;
+    sess.id = id;
+    sess.records = histories_[id];
+    s.sessions.push_back(std::move(sess));
+  }
+  return s;
+}
+
+void Service::process_line(std::string line, std::ostream& out,
+                           std::vector<PendingReq>& pending) {
+  const std::uint64_t seq = ++stats_.lines;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  if (opt_.max_line_bytes != 0 && line.size() > opt_.max_line_bytes) {
+    // Shed before parsing: the cap exists so a hostile line cannot make the
+    // parser do work proportional to its length.
+    flush(pending, out);
+    RequestError err{"svc.overload.line_too_long",
+                     "request line of " + std::to_string(line.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(opt_.max_line_bytes) + "-byte cap"};
+    out << render_line_error(seq, err) << '\n';
+    ++stats_.rejected;
+    ++stats_.shed_oversize;
+    if (obs::enabled()) {
+      c_requests.inc();
+      c_rejected.inc();
+      c_shed.inc();
+    }
+    gap_and_seal(seq, "oversize");
+    return;
+  }
+
+  Request req;
+  RequestError err;
+  if (!parse_request(line, seq, req, err)) {
+    // A rejected line is a batch boundary so the error response keeps
+    // its place in the stream.
+    flush(pending, out);
+    out << render_line_error(seq, err) << '\n';
+    ++stats_.rejected;
+    if (obs::enabled()) {
+      c_requests.inc();
+      c_rejected.inc();
+    }
+    gap_and_seal(seq, "reject");
+    return;
+  }
+
+  if (read_only(req.op)) {
+    PendingReq p;
+    p.req = std::move(req);
+    if (opt_.max_queued != 0) {
+      // Admission control: depth = live queued requests for this shard.
+      std::size_t depth = 0;
+      for (const PendingReq& q : pending)
+        if (!q.shed && q.req.session == p.req.session) ++depth;
+      if (depth >= opt_.max_queued) {
+        p.shed = true;
+        p.gap_class = "queue";
+        p.err = RequestError{
+            "svc.overload.queue_full",
+            "session " + std::to_string(p.req.session) + " already has " +
+                std::to_string(depth) + " queued request(s) (cap " +
+                std::to_string(opt_.max_queued) + ")"};
+      } else if (p.req.deadline_ms > 0.0) {
+        // Deterministic deadline floor: each queued request ahead costs at
+        // least the minimum augmentation budget at the policy rate.
+        const double floor_ms =
+            static_cast<double>(depth) *
+            (static_cast<double>(opt_.slo.min_augmentations) /
+             opt_.slo.augmentations_per_ms);
+        if (p.req.deadline_ms < floor_ms) {
+          p.shed = true;
+          p.gap_class = "deadline";
+          p.err = RequestError{
+              "svc.overload.deadline",
+              "deadline_ms below the deterministic queue floor for " +
+                  std::to_string(depth) + " queued request(s)"};
+        }
+      }
+    }
+    pending.push_back(std::move(p));
+    if (pending.size() >= opt_.max_batch) flush(pending, out);
+  } else {
+    flush(pending, out);
+    const std::uint64_t mseq = req.seq;
+    emit(out, req, eval(req, /*sequential=*/true));
+    commit_group(mseq);
+  }
 }
 
 void Service::run(std::istream& in, std::ostream& out) {
   OBS_SPAN("svc.run");
   std::string line;
-  std::uint64_t seq = 0;
-  std::vector<Request> pending;
+  std::vector<PendingReq> pending;
   pending.reserve(opt_.max_batch);
+  bool first = true;
 
   while (std::getline(in, line)) {
-    ++seq;
-    ++stats_.lines;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-
-    Request req;
-    RequestError err;
-    if (!parse_request(line, seq, req, err)) {
-      // A rejected line is a batch boundary so the error response keeps
-      // its place in the stream.
-      flush(pending, out);
-      out << render_line_error(seq, err) << '\n';
-      ++stats_.rejected;
-      if (obs::enabled()) {
-        c_requests.inc();
-        c_rejected.inc();
+    if (first) {
+      first = false;
+      std::string probe = line;
+      if (!probe.empty() && probe.back() == '\r') probe.pop_back();
+      if (probe == durable::kJournalHeaderV2) {
+        run_journal_script(in, out);
+        return;
       }
-      continue;
     }
-
-    if (read_only(req.op)) {
-      pending.push_back(std::move(req));
-      if (pending.size() >= opt_.max_batch) flush(pending, out);
-    } else {
-      flush(pending, out);
-      emit(out, req, eval(req, /*sequential=*/true));
-    }
+    process_line(std::move(line), out, pending);
   }
   flush(pending, out);
+}
+
+void Service::run_journal_script(std::istream& in, std::ostream& out) {
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string bytes = std::string(durable::kJournalHeaderV2) + '\n' + rest;
+  durable::JournalContents jc;
+  durable::JournalError jerr;
+  if (!durable::read_journal(bytes, jc, jerr)) {
+    RequestError err{jerr.code, jerr.message + " (record " +
+                                    std::to_string(jerr.record) + ")"};
+    out << render_line_error(0, err) << '\n';
+    ++stats_.rejected;
+    if (obs::enabled()) {
+      c_requests.inc();
+      c_rejected.inc();
+    }
+    return;
+  }
+
+  for (const durable::JournalGroup& g : jc.groups) {
+    if (g.entries.empty()) continue;
+    // Parse every record up front with its original seq; gaps re-journal
+    // and count but emit no response line (their original responses were
+    // errors and are not reconstructible from a content-free marker).
+    std::vector<Request> reqs(g.entries.size());
+    std::vector<std::size_t> live;
+    std::uint64_t last_seq = stats_.lines;
+    bool any_read_only = false;
+    bool parse_ok = true;
+    for (std::size_t i = 0; i < g.entries.size(); ++i) {
+      const durable::JournalEntry& e = g.entries[i];
+      if (e.seq > last_seq) last_seq = e.seq;
+      if (!e.is_record) continue;
+      RequestError rerr;
+      if (!parse_request(e.canonical, e.seq, reqs[i], rerr)) {
+        RequestError err{"svc.journal.bad_canonical",
+                         "journaled record at seq " + std::to_string(e.seq) +
+                             " fails parse_request: " + rerr.code};
+        out << render_line_error(e.seq, err) << '\n';
+        ++stats_.rejected;
+        if (obs::enabled()) {
+          c_requests.inc();
+          c_rejected.inc();
+        }
+        parse_ok = false;
+        break;
+      }
+      if (read_only(reqs[i].op)) any_read_only = true;
+      live.push_back(i);
+    }
+    if (!parse_ok) return;
+    stats_.lines = last_seq;
+
+    // Re-evaluate with the original batch layout: a lone record goes warm,
+    // a multi-record read-only group fans out cold — bitwise equal either
+    // way, and the re-journaled frames match the input byte for byte.
+    std::vector<EvalResult> results(g.entries.size());
+    if (live.size() == 1) {
+      results[live[0]] = eval(reqs[live[0]], /*sequential=*/true);
+    } else if (live.size() > 1) {
+      exec::parallel_for(live.size(), [&](std::size_t i) {
+        results[live[i]] = eval(reqs[live[i]], /*sequential=*/false);
+      });
+    }
+
+    if (any_read_only) {
+      std::uint64_t accepted_here = 0;
+      for (std::size_t i : live)
+        if (results[i].ok) ++accepted_here;
+      if (accepted_here > 0) {
+        ++stats_.batches;
+        if (accepted_here > stats_.max_batch) stats_.max_batch = accepted_here;
+        if (obs::enabled()) c_batches.inc();
+      }
+    }
+
+    for (std::size_t i = 0; i < g.entries.size(); ++i) {
+      const durable::JournalEntry& e = g.entries[i];
+      if (e.is_record) {
+        emit(out, reqs[i], std::move(results[i]));
+      } else {
+        ++stats_.rejected;
+        bump_shed(stats_, e.gap_class);
+        if (writer_) writer_->append_gap(e.seq, e.gap_class);
+        if (obs::enabled()) {
+          c_requests.inc();
+          c_rejected.inc();
+        }
+      }
+    }
+    commit_group(last_seq);
+  }
+}
+
+bool Service::replay_group_recover(const durable::JournalGroup& g,
+                                   RecoverStats& rs, std::string& error) {
+  std::uint64_t last_seq = stats_.lines;
+  std::uint64_t ro_records = 0;
+  bool reexecuted = false;
+  for (const durable::JournalEntry& e : g.entries) {
+    if (e.seq > last_seq) last_seq = e.seq;
+    if (!e.is_record) {
+      ++stats_.rejected;
+      bump_shed(stats_, e.gap_class);
+      continue;
+    }
+    Request req;
+    RequestError rerr;
+    if (!parse_request(e.canonical, e.seq, req, rerr)) {
+      error = "svc.recover.replay_failed: journaled record at seq " +
+              std::to_string(e.seq) + " fails parse_request: " + rerr.code;
+      return false;
+    }
+    ++rs.records;
+    ++stats_.journal_lines;
+    if (session_mutating(req.op)) {
+      EvalResult r = eval(req, /*sequential=*/true);
+      if (!r.ok) {
+        error = "svc.recover.replay_failed: journaled " +
+                std::string(to_string(req.op)) + " at seq " +
+                std::to_string(e.seq) + " re-rejected: " + r.response;
+        return false;
+      }
+      reexecuted = true;
+      if (!g.tally_known) {
+        stats_.fault_events += r.tally.fault_events;
+        stats_.solves += r.tally.solves;
+        stats_.truncated_solves += r.tally.truncated;
+        stats_.certified_solves += r.tally.certified;
+      }
+      capture_history(req);
+    } else if (req.op == Op::Stats || req.op == Op::Manifest) {
+      // Count-only: no state to rebuild, and the manifest side effect is
+      // not replayed (the file already reflects the original run).
+    } else {
+      // Read-only: fast-forward from the frame tally when known,
+      // re-evaluate (response discarded; tallies recovered) when not.
+      ++ro_records;
+      if (!g.tally_known) {
+        EvalResult r = eval(req, /*sequential=*/true);
+        if (!r.ok) {
+          error = "svc.recover.replay_failed: journaled " +
+                  std::string(to_string(req.op)) + " at seq " +
+                  std::to_string(e.seq) + " re-rejected: " + r.response;
+          return false;
+        }
+        reexecuted = true;
+        stats_.fault_events += r.tally.fault_events;
+        stats_.solves += r.tally.solves;
+        stats_.truncated_solves += r.tally.truncated;
+        stats_.certified_solves += r.tally.certified;
+      }
+    }
+    ++stats_.accepted;
+    ++stats_.accepted_by_op[static_cast<int>(req.op)];
+  }
+  if (g.tally_known) {
+    stats_.fault_events += g.tally.fault_events;
+    stats_.solves += g.tally.solves;
+    stats_.truncated_solves += g.tally.truncated;
+    stats_.certified_solves += g.tally.certified;
+  }
+  if (ro_records > 0) {
+    ++stats_.batches;
+    if (ro_records > stats_.max_batch) stats_.max_batch = ro_records;
+  }
+  stats_.lines = last_seq;
+  ++groups_committed_;
+  last_committed_seq_ = last_seq;
+  if (reexecuted) {
+    ++rs.groups_reexec;
+    if (obs::enabled()) c_rec_reexec.inc();
+  } else {
+    ++rs.groups_fast;
+    if (obs::enabled()) c_rec_fast.inc();
+  }
+  return true;
+}
+
+bool Service::recover(const durable::ServiceSnapshot* snap,
+                      const durable::JournalContents& journal, RecoverStats& rs,
+                      std::string& error) {
+  OBS_SPAN("svc.recover");
+  rs = RecoverStats{};
+  std::uint64_t snap_lines = 0;
+
+  if (snap != nullptr) {
+    check::Report rep = check::validate_snapshot(*snap);
+    if (!rep.ok()) {
+      error = "svc.recover.bad_snapshot: " + rep.violations[0].code + ": " +
+              rep.violations[0].message;
+      return false;
+    }
+    // Command-sourcing: rebuild each shard by re-executing its mutating
+    // history through the normal eval path (bitwise-equal state), then
+    // restore the counters verbatim from the snapshot.
+    for (const durable::SnapshotSession& sess : snap->sessions) {
+      for (const durable::SnapshotRecord& rec : sess.records) {
+        Request req;
+        RequestError rerr;
+        if (!parse_request(rec.canonical, rec.seq, req, rerr)) {
+          error = "svc.recover.replay_failed: snapshot record at seq " +
+                  std::to_string(rec.seq) + " fails parse_request: " + rerr.code;
+          return false;
+        }
+        EvalResult r = eval(req, /*sequential=*/true);
+        if (!r.ok) {
+          error = "svc.recover.replay_failed: snapshot " + rec.op +
+                  " at seq " + std::to_string(rec.seq) +
+                  " re-rejected: " + r.response;
+          return false;
+        }
+      }
+      histories_[sess.id] = sess.records;
+    }
+    stats_ = ServiceStats{};
+    stats_.lines = snap->stats.lines;
+    stats_.accepted = snap->stats.accepted;
+    stats_.rejected = snap->stats.rejected;
+    stats_.fault_events = snap->stats.fault_events;
+    stats_.solves = snap->stats.solves;
+    stats_.truncated_solves = snap->stats.truncated_solves;
+    stats_.certified_solves = snap->stats.certified_solves;
+    stats_.batches = snap->stats.batches;
+    stats_.max_batch = snap->stats.max_batch;
+    stats_.journal_lines = snap->stats.journal_lines;
+    stats_.shed_oversize = snap->stats.shed_oversize;
+    stats_.shed_queue = snap->stats.shed_queue;
+    stats_.shed_deadline = snap->stats.shed_deadline;
+    for (std::size_t i = 0; i < kOpCount; ++i)
+      stats_.accepted_by_op[i] = snap->stats.by_op[i];
+    groups_committed_ = snap->groups_committed;
+    last_committed_seq_ = snap->stats.lines;
+    snap_lines = snap->stats.lines;
+  }
+
+  for (const durable::JournalGroup& g : journal.groups) {
+    if (g.entries.empty()) continue;
+    std::uint64_t first = g.entries.front().seq;
+    std::uint64_t last = first;
+    for (const durable::JournalEntry& e : g.entries) {
+      if (e.seq < first) first = e.seq;
+      if (e.seq > last) last = e.seq;
+    }
+    if (last <= snap_lines) continue;  // already folded into the snapshot
+    if (first <= snap_lines) {
+      error = "svc.recover.misaligned: journal group spanning seqs " +
+              std::to_string(first) + ".." + std::to_string(last) +
+              " straddles the snapshot at line " + std::to_string(snap_lines);
+      return false;
+    }
+    if (!replay_group_recover(g, rs, error)) return false;
+  }
+  rs.resume_seq = stats_.lines;
+  return true;
 }
 
 }  // namespace flattree::svc

@@ -8,12 +8,16 @@
 //   session.hpp   per-shard state: resilient controller, traffic snapshot,
 //                 warm engines (bitwise-equal to cold)
 //   service.hpp   the JSON-lines loop: deterministic batching, journaling,
-//                 stats
+//                 overload shedding, snapshots, recovery, stats
+//   durable/journal.hpp   CRC-framed journal v2 (records, gaps, commits)
+//   durable/snapshot.hpp  canonical command-sourced state snapshots
 //
 // The stdin/stdout binary is flattree_svc (src/svc/flattree_svc_main.cpp);
 // bench_service drives the same Service class in-process. DESIGN.md
 // Section 10 documents the protocol; EXPERIMENTS.md shows how to run it.
 
+#include "svc/durable/journal.hpp"
+#include "svc/durable/snapshot.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 #include "svc/session.hpp"

@@ -1,0 +1,65 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace flattree::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t len) {
+  const auto& t = table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i)
+    state = t[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32(const std::string& bytes) {
+  return crc32_final(crc32_update(crc32_init(), bytes.data(), bytes.size()));
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return s;
+}
+
+bool parse_crc32_hex(const std::string& hex, std::uint32_t& out) {
+  if (hex.size() != 8) return false;
+  std::uint32_t v = 0;
+  for (char c : hex) {
+    std::uint32_t d;
+    if (c >= '0' && c <= '9')
+      d = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      d = static_cast<std::uint32_t>(c - 'a' + 10);
+    else
+      return false;
+    v = (v << 4) | d;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace flattree::util

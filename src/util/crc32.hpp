@@ -1,0 +1,33 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 — the zip/png/
+// ethernet checksum). The durable service formats (journal v2 frames,
+// snapshot v1 trailers) use it to detect torn writes and bit corruption;
+// the framed text formats carry it as fixed-width lowercase hex so the
+// encodings stay canonical and byte-comparable.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flattree::util {
+
+/// Initial state for a crc32_update chain.
+inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+/// Feeds `len` bytes into a running CRC-32 state (start from crc32_init(),
+/// finish with crc32_final()).
+std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t len);
+
+/// Finalizes a crc32_update chain into the conventional CRC-32 value.
+inline std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a byte string.
+std::uint32_t crc32(const std::string& bytes);
+
+/// Fixed-width lowercase hex rendering ("%08x") used by the framed formats.
+std::string crc32_hex(std::uint32_t crc);
+
+/// Inverse of crc32_hex; false unless `hex` is exactly 8 lowercase hex digits.
+bool parse_crc32_hex(const std::string& hex, std::uint32_t& out);
+
+}  // namespace flattree::util

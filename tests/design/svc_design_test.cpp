@@ -109,10 +109,27 @@ TEST(SvcDesign, RequiresABuiltSessionAndAValidMix) {
   EXPECT_TRUE(response_ok(response_at(r.responses, 5)));  // custom mix works
 }
 
+/// Drops journal v2 commit frames: commit placement intentionally tracks
+/// batch (durability) boundaries, but records must be batch-invariant.
+std::string strip_commits(const std::string& journal) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < journal.size()) {
+    std::size_t nl = journal.find('\n', pos);
+    if (nl == std::string::npos) nl = journal.size() - 1;
+    std::string line = journal.substr(pos, nl + 1 - pos);
+    if (line.rfind("c ", 0) != 0 && line.rfind("u ", 0) != 0) out += line;
+    pos = nl + 1;
+  }
+  return out;
+}
+
 TEST(SvcDesign, ByteIdenticalAcrossThreadsObsAndBatchLayout) {
   // Three identical read-only design requests: batched (max_batch 3) and
   // unbatched (max_batch 1) evaluations must produce the same bytes, at
-  // any thread count, with observability on or off.
+  // any thread count, with observability on or off. Only commit-frame
+  // placement may move across batch widths — commits are the batch
+  // boundaries.
   const std::string script =
       "{\"op\":\"build\",\"k\":4}\n"
       "{\"op\":\"design\",\"iters\":6,\"id\":\"a\"}\n"
@@ -140,7 +157,8 @@ TEST(SvcDesign, ByteIdenticalAcrossThreadsObsAndBatchLayout) {
     EXPECT_EQ(got.responses, reference.responses)
         << "threads=" << c.threads << " obs=" << c.obs
         << " max_batch=" << c.max_batch;
-    EXPECT_EQ(got.journal, reference.journal);
+    if (c.max_batch == 1) EXPECT_EQ(got.journal, reference.journal);
+    EXPECT_EQ(strip_commits(got.journal), strip_commits(reference.journal));
   }
   obs::set_enabled(false);
   exec::set_global_threads(0);

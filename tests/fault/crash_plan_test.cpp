@@ -1,0 +1,54 @@
+#include "fault/crash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace flattree::fault {
+namespace {
+
+TEST(CrashPlan, FrameBoundariesAreNormalized) {
+  // Unsorted, duplicated boundary offsets come straight from a writer's
+  // bookkeeping; the plan is always sorted-unique.
+  CrashPlan p = crash_after_each_frame({40, 10, 40, 25, 10});
+  EXPECT_EQ(p.cuts, (std::vector<std::uint64_t>{10, 25, 40}));
+}
+
+TEST(CrashPlan, EveryByteSweepsInclusiveRange) {
+  CrashPlan p = crash_every_byte(5, 9);
+  EXPECT_EQ(p.cuts, (std::vector<std::uint64_t>{5, 6, 7, 8, 9}));
+  EXPECT_EQ(crash_every_byte(3, 3).cuts, (std::vector<std::uint64_t>{3}));
+  EXPECT_TRUE(crash_every_byte(9, 5).cuts.empty());  // empty range, not a crash
+}
+
+TEST(CrashPlan, MergeIsSortedUnion) {
+  CrashPlan a = crash_after_each_frame({10, 30});
+  CrashPlan b = crash_every_byte(28, 32);
+  CrashPlan m = merge_plans(a, b);
+  EXPECT_EQ(m.cuts, (std::vector<std::uint64_t>{10, 28, 29, 30, 31, 32}));
+}
+
+TEST(CrashPlan, SampleKeepsEndpointsAndIsDeterministic) {
+  CrashPlan full = crash_every_byte(100, 399);  // 300 cuts
+  CrashPlan s1 = sample_cuts(full, 16, 42);
+  CrashPlan s2 = sample_cuts(full, 16, 42);
+  EXPECT_EQ(s1.cuts, s2.cuts);  // substream-seeded, not time-seeded
+  EXPECT_EQ(s1.cuts.size(), 16u);
+  EXPECT_EQ(s1.cuts.front(), 100u);  // first and last cut always survive
+  EXPECT_EQ(s1.cuts.back(), 399u);
+  EXPECT_TRUE(std::is_sorted(s1.cuts.begin(), s1.cuts.end()));
+  for (std::uint64_t c : s1.cuts) {
+    EXPECT_GE(c, 100u);
+    EXPECT_LE(c, 399u);
+  }
+  // A different seed picks a different middle.
+  CrashPlan s3 = sample_cuts(full, 16, 43);
+  EXPECT_NE(s1.cuts, s3.cuts);
+
+  // Plans already under the cap pass through untouched.
+  CrashPlan small = crash_every_byte(1, 4);
+  EXPECT_EQ(sample_cuts(small, 16, 42).cuts, small.cuts);
+}
+
+}  // namespace
+}  // namespace flattree::fault

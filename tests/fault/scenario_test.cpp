@@ -148,6 +148,56 @@ TEST(Scenario, LoadRejectsMalformedInput) {
   EXPECT_THROW(load_scenario(truncated), std::runtime_error);
 }
 
+TEST(Scenario, LoadRejectsNonFiniteTimes) {
+  // "inf"/"nan" spellings parse in strtod but would poison every ordering
+  // comparison downstream; the loader refuses them with a stable message
+  // (ISSUE 10). Each accepted spelling of non-finite in turn.
+  for (const char* t : {"inf", "-inf", "nan", "infinity", "1e999"}) {
+    std::istringstream in(std::string("# flattree-fault-scenario v1\nduration 10\n") +
+                          "seed 1\ne " + t + " switch_down 2 0\n");
+    try {
+      load_scenario(in);
+      FAIL() << "accepted non-finite time " << t;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite time"), std::string::npos) << t;
+    }
+  }
+  std::istringstream bad_duration(
+      "# flattree-fault-scenario v1\nduration inf\nseed 1\n");
+  EXPECT_THROW(load_scenario(bad_duration), std::runtime_error);
+  std::istringstream junk_time(
+      "# flattree-fault-scenario v1\nduration 10\nseed 1\ne 1.0x switch_down 2 0\n");
+  EXPECT_THROW(load_scenario(junk_time), std::runtime_error);
+}
+
+TEST(Scenario, LoadRejectsDuplicateEvents) {
+  // An exact duplicate — whether adjacent in the file or separated by
+  // other lines (out of order) — is refused after the resort; a pure
+  // reorder without duplication still loads (see LoadResortsHandEdited).
+  std::istringstream adjacent(
+      "# flattree-fault-scenario v1\nduration 10\nseed 1\n"
+      "e 1.0 switch_down 2 0\ne 1.0 switch_down 2 0\n");
+  std::istringstream out_of_order(
+      "# flattree-fault-scenario v1\nduration 10\nseed 1\n"
+      "e 1.0 switch_down 2 0\ne 2.0 switch_up 2 0\ne 1.0 switch_down 2 0\n");
+  for (std::istringstream* in : {&adjacent, &out_of_order}) {
+    try {
+      load_scenario(*in);
+      FAIL() << "accepted duplicate event";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate event"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("switch_down 2 0"), std::string::npos);
+    }
+  }
+  // Same time, different entity is legitimate (pod power downs a whole
+  // pod at one instant) and must keep loading.
+  std::istringstream same_instant(
+      "# flattree-fault-scenario v1\nduration 10\nseed 1\n"
+      "e 1.0 switch_down 2 0\ne 1.0 switch_down 3 0\n"
+      "e 2.0 switch_up 2 0\ne 2.0 switch_up 3 0\n");
+  EXPECT_EQ(load_scenario(same_instant).events.size(), 4u);
+}
+
 TEST(Scenario, LoadResortsHandEditedTraces) {
   std::istringstream in(
       "# flattree-fault-scenario v1\nduration 10\nseed 1\n"

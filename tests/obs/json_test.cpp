@@ -140,20 +140,62 @@ TEST(JsonParse, MaterializesContainersInDocumentOrder) {
 TEST(JsonParse, StableErrorCodes) {
   EXPECT_EQ(parse_error("").code, "json.expected_value");
   EXPECT_EQ(parse_error("{\"a\":}").code, "json.expected_value");
-  EXPECT_EQ(parse_error("\"unterminated").code, "json.unterminated_string");
+  EXPECT_EQ(parse_error("\"unterminated").code, "json.truncated");
   EXPECT_EQ(parse_error("\"bad \\q escape\"").code, "json.bad_escape");
   EXPECT_EQ(parse_error("\"\\u12g4\"").code, "json.bad_escape");
   EXPECT_EQ(parse_error(std::string("\"a") + '\x01' + "b\"").code,
             "json.control_in_string");
-  EXPECT_EQ(parse_error("tru").code, "json.bad_literal");
+  EXPECT_EQ(parse_error("trux").code, "json.bad_literal");
   EXPECT_EQ(parse_error("01").code, "json.bad_number");
-  EXPECT_EQ(parse_error("1.").code, "json.bad_number");
-  EXPECT_EQ(parse_error("1e").code, "json.bad_number");
+  EXPECT_EQ(parse_error("1.x").code, "json.bad_number");
+  EXPECT_EQ(parse_error("1ex").code, "json.bad_number");
   EXPECT_EQ(parse_error("{1:2}").code, "json.expected_string");
   EXPECT_EQ(parse_error("{\"a\" 1}").code, "json.expected_colon");
   EXPECT_EQ(parse_error("[1 2]").code, "json.expected_comma_or_close");
   EXPECT_EQ(parse_error("{\"a\":1 \"b\":2}").code, "json.expected_comma_or_close");
   EXPECT_EQ(parse_error("{} {}").code, "json.trailing");
+}
+
+TEST(JsonParse, TruncatedInputIsItsOwnErrorClass) {
+  // Every way of cutting a document at end-of-input maps to one stable
+  // code, json.truncated, so callers can distinguish "feed me more bytes"
+  // from "this will never parse" (ISSUE 10). Each cut class in turn:
+  // mid-escape, mid-\u escape, inside a string, mid-UTF-8 sequence,
+  // mid-number (sign / fraction / exponent), mid-literal, and inside an
+  // open container.
+  EXPECT_EQ(parse_error("\"a\\").code, "json.truncated");
+  EXPECT_EQ(parse_error("\"a\\u12").code, "json.truncated");
+  EXPECT_EQ(parse_error("\"abc").code, "json.truncated");
+  EXPECT_EQ(parse_error("\"caf\xC3").code, "json.truncated");          // cut UTF-8 lead
+  EXPECT_EQ(parse_error("\"\xE2\x82").code, "json.truncated");         // cut 3-byte seq
+  EXPECT_EQ(parse_error("-").code, "json.truncated");
+  EXPECT_EQ(parse_error("1.").code, "json.truncated");
+  EXPECT_EQ(parse_error("1e").code, "json.truncated");
+  EXPECT_EQ(parse_error("1e+").code, "json.truncated");
+  EXPECT_EQ(parse_error("tru").code, "json.truncated");
+  EXPECT_EQ(parse_error("fals").code, "json.truncated");
+  EXPECT_EQ(parse_error("[1,").code, "json.truncated");
+  EXPECT_EQ(parse_error("[1").code, "json.truncated");
+  EXPECT_EQ(parse_error("{\"a\":").code, "json.truncated");
+  EXPECT_EQ(parse_error("{\"a\"").code, "json.truncated");
+  EXPECT_EQ(parse_error("{\"a\":1").code, "json.truncated");
+  EXPECT_EQ(parse_error("{").code, "json.truncated");
+
+  // The position always lands inside the buffer: a string cut points at
+  // its opening quote, a structural cut at the end of what was read.
+  JsonError err = parse_error("{\"k\":\n\"abc");
+  EXPECT_EQ(err.code, "json.truncated");
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_EQ(err.column, 1u);
+  err = parse_error("[1,2,\n");
+  EXPECT_EQ(err.code, "json.truncated");
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_EQ(err.column, 1u);
+
+  // An empty (or all-whitespace) document is not "truncated": nothing was
+  // started, so the original code stands.
+  EXPECT_EQ(parse_error("").code, "json.expected_value");
+  EXPECT_EQ(parse_error("  \n ").code, "json.expected_value");
 }
 
 TEST(JsonParse, RejectsDuplicateKeys) {

@@ -1,0 +1,280 @@
+// Journal v2 unit coverage (ISSUE 10): writer -> reader round trips, the
+// torn-tail sweep (every byte prefix of a journal parses, and durability
+// never exceeds the last commit), pinned corruption codes with 1-based
+// record numbers, v1 auto-detection, and the explicit v1 -> v2 upgrade
+// path. The crash-matrix test drives the same reader through the full
+// service; this file pins the format itself.
+
+#include "svc/durable/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flattree::svc::durable {
+namespace {
+
+/// A three-group journal exercising records, gaps of every class, and
+/// tallies. Returns the bytes; `boundaries` gets the byte offset after
+/// each commit (the clean-tear cut points).
+std::string sample_journal(std::vector<std::uint64_t>* boundaries = nullptr) {
+  std::ostringstream os;
+  JournalWriter w(os);
+  w.append_record(1, R"({"op":"build","k":4})");
+  w.append_record(2, R"({"op":"query"})");
+  w.add_tally({2, 1, 1, 0});
+  w.commit();
+  if (boundaries != nullptr) boundaries->push_back(os.str().size());
+  w.append_gap(3, "reject");
+  w.append_record(4, R"({"op":"fault","events":[]})");
+  w.add_tally({0, 0, 0, 3});
+  w.commit();
+  if (boundaries != nullptr) boundaries->push_back(os.str().size());
+  w.append_record(5, R"({"op":"query","id":"q"})");
+  w.append_gap(6, "oversize");
+  w.append_gap(7, "queue");
+  w.append_gap(8, "deadline");
+  w.commit();
+  if (boundaries != nullptr) boundaries->push_back(os.str().size());
+  return os.str();
+}
+
+TEST(Journal, WriterReaderRoundTrip) {
+  std::string bytes = sample_journal();
+  EXPECT_EQ(bytes.compare(0, std::string(kJournalHeaderV2).size(), kJournalHeaderV2),
+            0);
+
+  JournalContents c;
+  JournalError err;
+  ASSERT_TRUE(read_journal(bytes, c, err)) << err.code << ": " << err.message;
+  EXPECT_EQ(c.version, 2);
+  ASSERT_EQ(c.groups.size(), 3u);
+  EXPECT_EQ(c.records, 4u);
+  EXPECT_EQ(c.last_seq, 8u);
+  EXPECT_EQ(c.committed_bytes, bytes.size());
+  EXPECT_EQ(c.truncated_bytes, 0u);
+
+  const JournalGroup& g0 = c.groups[0];
+  ASSERT_EQ(g0.entries.size(), 2u);
+  EXPECT_TRUE(g0.tally_known);
+  EXPECT_EQ(g0.records, 2u);
+  EXPECT_EQ(g0.tally.solves, 2u);
+  EXPECT_EQ(g0.tally.truncated, 1u);
+  EXPECT_EQ(g0.tally.certified, 1u);
+  EXPECT_EQ(g0.entries[0].seq, 1u);
+  EXPECT_EQ(g0.entries[0].canonical, R"({"op":"build","k":4})");
+
+  const JournalGroup& g1 = c.groups[1];
+  ASSERT_EQ(g1.entries.size(), 2u);
+  EXPECT_FALSE(g1.entries[0].is_record);
+  EXPECT_EQ(g1.entries[0].gap_class, "reject");
+  EXPECT_EQ(g1.records, 1u);
+  EXPECT_EQ(g1.tally.fault_events, 3u);
+
+  const JournalGroup& g2 = c.groups[2];
+  ASSERT_EQ(g2.entries.size(), 4u);
+  EXPECT_EQ(g2.entries[1].gap_class, "oversize");
+  EXPECT_EQ(g2.entries[2].gap_class, "queue");
+  EXPECT_EQ(g2.entries[3].gap_class, "deadline");
+}
+
+TEST(Journal, EmptyAndHeaderOnlyAreValid) {
+  JournalContents c;
+  JournalError err;
+  ASSERT_TRUE(read_journal("", c, err));
+  EXPECT_TRUE(c.groups.empty());
+  EXPECT_EQ(c.committed_bytes, 0u);
+
+  std::string header = std::string(kJournalHeaderV2) + '\n';
+  ASSERT_TRUE(read_journal(header, c, err));
+  EXPECT_TRUE(c.groups.empty());
+  EXPECT_EQ(c.committed_bytes, header.size());
+  EXPECT_EQ(c.truncated_bytes, 0u);
+}
+
+TEST(Journal, EveryBytePrefixParsesAsATornTail) {
+  // A crash can only shorten the file. Whatever byte it stops at, the
+  // reader must accept the prefix, keep exactly the groups whose commit
+  // frame survived whole, and report the rest as the torn tail — never a
+  // corruption error, never durability past the cut.
+  std::vector<std::uint64_t> boundaries;
+  std::string bytes = sample_journal(&boundaries);
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    JournalContents c;
+    JournalError err;
+    ASSERT_TRUE(read_journal(bytes.substr(0, cut), c, err))
+        << "cut " << cut << ": " << err.code;
+    std::size_t want_groups = 0;
+    for (std::uint64_t b : boundaries)
+      if (b <= cut) ++want_groups;
+    EXPECT_EQ(c.groups.size(), want_groups) << "cut " << cut;
+    EXPECT_LE(c.committed_bytes, cut) << "cut " << cut;
+    EXPECT_EQ(c.committed_bytes + c.truncated_bytes, cut) << "cut " << cut;
+    // Re-reading just the durable prefix is a fixpoint: same groups, no tail.
+    JournalContents again;
+    ASSERT_TRUE(read_journal(bytes.substr(0, c.committed_bytes), again, err));
+    EXPECT_EQ(again.groups.size(), want_groups) << "cut " << cut;
+    EXPECT_EQ(again.truncated_bytes, 0u) << "cut " << cut;
+  }
+}
+
+TEST(Journal, CorruptRecordIsRefusedWithRecordNumber) {
+  // Flip one payload byte of the *first* record while the journal still
+  // ends with later commits: a complete line that fails its CRC can only
+  // be corruption (a tear would have shortened the file instead).
+  std::string bytes = sample_journal();
+  std::size_t at = bytes.find("\"k\":4");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at + 4] = '5';
+  JournalContents c;
+  JournalError err;
+  ASSERT_FALSE(read_journal(bytes, c, err));
+  EXPECT_EQ(err.code, "svc.journal.corrupt_record");
+  EXPECT_EQ(err.record, 1u);
+
+  // Same flip in the third record: the 1-based record number follows.
+  bytes = sample_journal();
+  at = bytes.find("\"events\":[]");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at + 10] = 'x';
+  ASSERT_FALSE(read_journal(bytes, c, err));
+  EXPECT_EQ(err.code, "svc.journal.corrupt_record");
+  EXPECT_EQ(err.record, 3u);
+}
+
+TEST(Journal, CorruptGapAndCommitHaveTheirOwnCodes) {
+  std::string bytes = sample_journal();
+  std::size_t at = bytes.find("x 3 reject");
+  ASSERT_NE(at, std::string::npos);
+  std::string tampered = bytes;
+  tampered.replace(at, 10, "x 3 oversiz");  // class no longer matches its crc
+  JournalContents c;
+  JournalError err;
+  ASSERT_FALSE(read_journal(tampered, c, err));
+  EXPECT_EQ(err.code, "svc.journal.corrupt_gap");
+  EXPECT_EQ(err.record, 2u);  // records seen before the bad gap
+
+  // Tamper the first commit's record count: the chain check catches a
+  // commit that does not cover its group even when the line is well formed.
+  at = bytes.find("\nc 2 ");
+  ASSERT_NE(at, std::string::npos);
+  tampered = bytes;
+  tampered[at + 3] = '3';
+  ASSERT_FALSE(read_journal(tampered, c, err));
+  EXPECT_EQ(err.code, "svc.journal.corrupt_commit");
+  EXPECT_EQ(err.record, 2u);
+}
+
+TEST(Journal, ForeignLineMidStreamIsCorruption) {
+  std::string bytes = sample_journal();
+  std::size_t at = bytes.find("x 3 reject");
+  ASSERT_NE(at, std::string::npos);
+  bytes.insert(at, "how did this get here\n");
+  JournalContents c;
+  JournalError err;
+  ASSERT_FALSE(read_journal(bytes, c, err));
+  EXPECT_EQ(err.code, "svc.journal.corrupt_record");
+  EXPECT_EQ(err.record, 3u);  // next record ordinal
+}
+
+TEST(Journal, HeaderlessBytesAutoDetectAsV1) {
+  std::string v1 =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"partial";  // torn tail, no newline
+  JournalContents c;
+  JournalError err;
+  ASSERT_TRUE(read_journal(v1, c, err)) << err.code;
+  EXPECT_EQ(c.version, 1);
+  ASSERT_EQ(c.groups.size(), 3u);
+  for (const JournalGroup& g : c.groups) {
+    EXPECT_FALSE(g.tally_known);  // recovery must re-evaluate, not fast-forward
+    EXPECT_EQ(g.records, 1u);
+  }
+  EXPECT_EQ(c.groups[1].entries[0].seq, 2u);
+  EXPECT_EQ(c.groups[1].entries[0].canonical, "{\"op\":\"query\"}");
+  EXPECT_EQ(c.truncated_bytes, std::string("{\"op\":\"partial").size());
+
+  std::string junk = "{\"op\":\"query\"}\nnot a json line\n";
+  ASSERT_FALSE(read_journal(junk, c, err));
+  EXPECT_EQ(err.code, "svc.journal.bad_v1_line");
+  EXPECT_EQ(err.record, 2u);
+}
+
+TEST(Journal, V1UpgradeRoundTrips) {
+  std::string v1 =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\"}\n"
+      "{\"op\":\"torn";  // dropped by the upgrade
+  std::string v2;
+  JournalError err;
+  ASSERT_TRUE(upgrade_v1_journal(v1, v2, err)) << err.code;
+  EXPECT_EQ(v2.compare(0, std::string(kJournalHeaderV2).size(), kJournalHeaderV2), 0);
+
+  JournalContents upgraded, direct;
+  ASSERT_TRUE(read_journal(v2, upgraded, err)) << err.code;
+  ASSERT_TRUE(read_journal(v1, direct, err)) << err.code;
+  ASSERT_EQ(upgraded.groups.size(), direct.groups.size());
+  EXPECT_EQ(upgraded.truncated_bytes, 0u);  // the upgrade already dropped the tear
+  for (std::size_t i = 0; i < upgraded.groups.size(); ++i) {
+    EXPECT_FALSE(upgraded.groups[i].tally_known);  // `u` commits: tally unknown
+    ASSERT_EQ(upgraded.groups[i].entries.size(), 1u);
+    EXPECT_EQ(upgraded.groups[i].entries[0].canonical,
+              direct.groups[i].entries[0].canonical);
+    EXPECT_EQ(upgraded.groups[i].entries[0].seq, direct.groups[i].entries[0].seq);
+  }
+
+  std::string bad = "{\"op\":\"query\"}\n{\"op\":\n";
+  ASSERT_FALSE(upgrade_v1_journal(bad, v2, err));
+  EXPECT_EQ(err.code, "svc.journal.bad_v1_line");
+  EXPECT_EQ(err.record, 2u);
+  EXPECT_NE(err.message.find("json.truncated"), std::string::npos);
+}
+
+TEST(Journal, ResumeWriterAppendsWithoutAHeader) {
+  // The --recover path truncates the torn tail, then appends. The
+  // resumed writer must not emit a second header, and the combined bytes
+  // must read back as one journal.
+  std::ostringstream first;
+  {
+    JournalWriter w(first);
+    w.append_record(1, R"({"op":"build","k":4})");
+    w.commit();
+  }
+  std::ostringstream second;
+  {
+    JournalWriter w(second, /*resume=*/true);
+    w.append_record(2, R"({"op":"query"})");
+    w.commit();
+  }
+  EXPECT_EQ(second.str().find(kJournalHeaderV2), std::string::npos);
+  JournalContents c;
+  JournalError err;
+  ASSERT_TRUE(read_journal(first.str() + second.str(), c, err)) << err.code;
+  ASSERT_EQ(c.groups.size(), 2u);
+  EXPECT_EQ(c.records, 2u);
+  EXPECT_EQ(c.last_seq, 2u);
+}
+
+TEST(Journal, EmptyCommitIsANoOp) {
+  std::ostringstream os;
+  JournalWriter w(os);
+  w.add_tally({5, 0, 0, 0});  // tally with no frames: discarded, not committed
+  w.commit();
+  EXPECT_EQ(os.str(), std::string(kJournalHeaderV2) + '\n');
+  EXPECT_EQ(w.groups_committed(), 0u);
+  // The discarded tally must not leak into the next group.
+  w.append_record(1, R"({"op":"query"})");
+  w.commit();
+  JournalContents c;
+  JournalError err;
+  ASSERT_TRUE(read_journal(os.str(), c, err)) << err.code;
+  ASSERT_EQ(c.groups.size(), 1u);
+  EXPECT_EQ(c.groups[0].tally.solves, 0u);
+}
+
+}  // namespace
+}  // namespace flattree::svc::durable

@@ -1,0 +1,207 @@
+// Overload protection (ISSUE 10): the pre-parse line-size cap, per-session
+// admission control, and the deterministic deadline floor — each with its
+// pinned svc.overload.* code, its journal gap class, a negative control
+// proving the cap is off by default, and the byte-identity check that
+// shedding decisions do not depend on the thread count.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exec/parallel_for.hpp"
+#include "obs/json.hpp"
+#include "svc/service.hpp"
+
+namespace flattree::svc {
+namespace {
+
+struct RunResult {
+  std::string responses;
+  std::string journal;
+  ServiceStats stats;
+};
+
+RunResult run_service(const std::string& script, ServiceOptions opt = {}) {
+  std::ostringstream journal;
+  opt.journal = &journal;
+  Service service(opt);
+  std::istringstream in(script);
+  std::ostringstream out;
+  service.run(in, out);
+  return {out.str(), journal.str(), service.stats()};
+}
+
+/// Parses the `index`-th response line (0-based) into a JsonValue.
+obs::JsonValue response_at(const std::string& responses, std::size_t index) {
+  std::istringstream in(responses);
+  std::string line;
+  for (std::size_t i = 0; i <= index; ++i) {
+    EXPECT_TRUE(static_cast<bool>(std::getline(in, line))) << "response " << index;
+  }
+  obs::JsonValue v;
+  obs::JsonError err;
+  EXPECT_TRUE(obs::json_parse(line, v, &err)) << line << " -> " << err.code;
+  return v;
+}
+
+bool response_ok(const obs::JsonValue& v) {
+  const obs::JsonValue* ok = v.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+std::string error_code(const obs::JsonValue& v) {
+  const obs::JsonValue* err = v.find("error");
+  if (err == nullptr) return "";
+  const obs::JsonValue* code = err->find("code");
+  return code != nullptr ? code->as_string() : "";
+}
+
+TEST(Overload, LineCapShedsBeforeParsing) {
+  // The long line is not even valid JSON: the cap must shed it without the
+  // parser ever seeing it, as an `oversize` gap frame in the journal.
+  std::string long_line(100, 'x');
+  std::string script = "{\"op\":\"build\",\"k\":4}\n" + long_line +
+                       "\n{\"op\":\"query\"}\n";
+  ServiceOptions opt;
+  opt.max_line_bytes = 64;
+  RunResult r = run_service(script, opt);
+
+  EXPECT_EQ(error_code(response_at(r.responses, 1)), "svc.overload.line_too_long");
+  EXPECT_TRUE(response_ok(response_at(r.responses, 2)));  // later lines unaffected
+  EXPECT_EQ(r.stats.shed_oversize, 1u);
+  EXPECT_EQ(r.stats.rejected, 1u);
+  EXPECT_NE(r.journal.find("x 2 oversize"), std::string::npos) << r.journal;
+  EXPECT_EQ(r.journal.find('x', r.journal.find("x 2 oversize") + 1),
+            std::string::npos);  // exactly one gap frame
+}
+
+TEST(Overload, CapsAreOffByDefault) {
+  // The same hostile line parses (and is rejected as JSON, not shed) when
+  // no cap is armed: overload protection is strictly opt-in.
+  std::string long_line(100, 'x');
+  RunResult r = run_service(long_line + "\n");
+  EXPECT_EQ(r.stats.shed_oversize, 0u);
+  EXPECT_EQ(r.stats.shed_queue, 0u);
+  EXPECT_EQ(r.stats.shed_deadline, 0u);
+  EXPECT_EQ(r.stats.rejected, 1u);  // still a parse rejection
+  EXPECT_NE(error_code(response_at(r.responses, 0)), "svc.overload.line_too_long");
+}
+
+TEST(Overload, QueueCapBoundsPerSessionAdmission) {
+  // With max_queued=1 the second same-session read-only request in a batch
+  // is shed at admission; it renders in stream order as a `queue` gap.
+  std::string script =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\",\"id\":\"a\"}\n"
+      "{\"op\":\"query\",\"id\":\"b\"}\n";
+  ServiceOptions opt;
+  opt.max_queued = 1;
+  opt.max_batch = 8;  // large enough that nothing flushes between the queries
+  RunResult r = run_service(script, opt);
+
+  EXPECT_TRUE(response_ok(response_at(r.responses, 1)));
+  EXPECT_EQ(error_code(response_at(r.responses, 2)), "svc.overload.queue_full");
+  EXPECT_EQ(r.stats.shed_queue, 1u);
+  EXPECT_NE(r.journal.find("x 3 queue"), std::string::npos) << r.journal;
+}
+
+TEST(Overload, QueueDepthIsPerSession) {
+  // Admission control is a per-shard bound, not a global one: one queued
+  // query per session fits under max_queued=1 even in the same batch.
+  std::string script =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"build\",\"k\":4,\"session\":1}\n"
+      "{\"op\":\"query\"}\n"
+      "{\"op\":\"query\",\"session\":1}\n";
+  ServiceOptions opt;
+  opt.max_queued = 1;
+  opt.max_batch = 8;
+  RunResult r = run_service(script, opt);
+
+  EXPECT_TRUE(response_ok(response_at(r.responses, 2)));
+  EXPECT_TRUE(response_ok(response_at(r.responses, 3)));
+  EXPECT_EQ(r.stats.shed_queue, 0u);
+}
+
+TEST(Overload, DeadlineFloorShedsQueuedHopelessRequests) {
+  // The floor is deterministic: each queued request ahead costs at least
+  // min_augmentations / augmentations_per_ms = 32/4000 = 0.008 ms at the
+  // defaults. A 0.001 ms deadline behind one queued query can never be met
+  // and is shed; the same deadline at depth 0 is admitted (the SLO layer
+  // truncates the solve instead).
+  std::string shed_script =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\",\"id\":\"a\"}\n"
+      "{\"op\":\"query\",\"id\":\"b\",\"deadline_ms\":0.001}\n";
+  ServiceOptions opt;
+  opt.max_queued = 8;  // arms the floor without tripping queue_full
+  opt.max_batch = 8;
+  RunResult r = run_service(shed_script, opt);
+  EXPECT_EQ(error_code(response_at(r.responses, 2)), "svc.overload.deadline");
+  EXPECT_EQ(r.stats.shed_deadline, 1u);
+  EXPECT_NE(r.journal.find("x 3 deadline"), std::string::npos) << r.journal;
+
+  std::string ok_script =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\",\"id\":\"b\",\"deadline_ms\":0.001}\n";
+  RunResult front = run_service(ok_script, opt);
+  EXPECT_TRUE(response_ok(response_at(front.responses, 1)));
+  EXPECT_EQ(front.stats.shed_deadline, 0u);
+}
+
+TEST(Overload, ShedRequestsAreNeverEvaluated) {
+  // Shedding must save the work, not just the response: the solve counter
+  // matches a run that never submitted the shed line at all.
+  ServiceOptions opt;
+  opt.max_queued = 1;
+  opt.max_batch = 8;
+  RunResult with_shed = run_service(
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\",\"id\":\"a\"}\n"
+      "{\"op\":\"query\",\"id\":\"b\"}\n",
+      opt);
+  RunResult without = run_service(
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\",\"id\":\"a\"}\n",
+      opt);
+  EXPECT_EQ(with_shed.stats.shed_queue, 1u);
+  EXPECT_EQ(with_shed.stats.solves, without.stats.solves);
+}
+
+TEST(Overload, SheddingIsByteIdenticalAcrossThreads) {
+  // Admission decisions depend only on stream order, never on scheduling:
+  // the full overload battery sheds the same lines with the same bytes at
+  // any thread count.
+  // One shed of each class: c hits the deadline floor at depth 1 (shed
+  // entries hold no depth, so b still fits), d trips queue_full at depth 2,
+  // and the non-JSON line trips the byte cap.
+  std::string script =
+      "{\"op\":\"build\",\"k\":4}\n"
+      "{\"op\":\"query\",\"id\":\"a\"}\n"
+      "{\"op\":\"query\",\"id\":\"c\",\"deadline_ms\":0.001}\n"
+      "{\"op\":\"query\",\"id\":\"b\"}\n"
+      "{\"op\":\"query\",\"id\":\"d\"}\n" +
+      std::string(100, 'x') +
+      "\n"
+      "{\"op\":\"stats\"}\n";
+  ServiceOptions opt;
+  opt.max_line_bytes = 64;
+  opt.max_queued = 2;
+  opt.max_batch = 8;
+
+  exec::set_global_threads(1);
+  RunResult one = run_service(script, opt);
+  EXPECT_EQ(one.stats.shed_deadline + one.stats.shed_queue + one.stats.shed_oversize,
+            3u)
+      << one.responses;
+
+  exec::set_global_threads(8);
+  RunResult eight = run_service(script, opt);
+  EXPECT_EQ(eight.responses, one.responses);
+  EXPECT_EQ(eight.journal, one.journal);
+  exec::set_global_threads(0);
+}
+
+}  // namespace
+}  // namespace flattree::svc

@@ -110,9 +110,11 @@ TEST(Service, ByteIdentityAcrossThreadsObsAndIncremental) {
 }
 
 TEST(Service, JournalIsAReplayFixpoint) {
-  // The journal contains the canonical form of every accepted request.
-  // Replaying it must accept every line, reproduce the same state
-  // trajectory, and journal the exact same bytes.
+  // The v2 journal frames the canonical form of every accepted request and
+  // marks rejected lines with content-free gap frames. Replaying it as the
+  // script must reproduce the same state trajectory, the same counters
+  // (including the rejections, reconstructed from the gaps), and journal
+  // the exact same bytes.
   std::string script = full_script() +
                        "this line is not json\n"
                        "{\"op\":\"frobnicate\"}\n";
@@ -120,8 +122,10 @@ TEST(Service, JournalIsAReplayFixpoint) {
   EXPECT_EQ(first.stats.rejected, 2u);
 
   RunResult replayed = run_service(first.journal);
-  EXPECT_EQ(replayed.stats.rejected, 0u);
+  EXPECT_EQ(replayed.stats.rejected, first.stats.rejected);
   EXPECT_EQ(replayed.stats.accepted, first.stats.accepted);
+  EXPECT_EQ(replayed.stats.batches, first.stats.batches);
+  EXPECT_EQ(replayed.stats.max_batch, first.stats.max_batch);
   EXPECT_EQ(replayed.journal, first.journal);  // fixpoint
 }
 
@@ -135,7 +139,15 @@ TEST(Service, RejectedRequestsAreNotJournaled) {
   EXPECT_EQ(r.stats.accepted, 1u);
   EXPECT_EQ(r.stats.rejected, 3u);
   EXPECT_EQ(r.stats.journal_lines, 1u);
-  EXPECT_EQ(r.journal, "{\"op\":\"hello\"}\n");
+  // Only the accepted request's bytes appear (as a record frame); the
+  // rejected lines leave content-free gap frames, never their payloads.
+  EXPECT_NE(r.journal.find("2 {\"op\":\"hello\"}\n"), std::string::npos) << r.journal;
+  EXPECT_EQ(r.journal.find("query"), std::string::npos) << r.journal;
+  EXPECT_EQ(r.journal.find("not json"), std::string::npos) << r.journal;
+  EXPECT_EQ(r.journal.find("build"), std::string::npos) << r.journal;
+  EXPECT_NE(r.journal.find("x 1 reject"), std::string::npos) << r.journal;
+  EXPECT_NE(r.journal.find("x 3 reject"), std::string::npos) << r.journal;
+  EXPECT_NE(r.journal.find("x 4 reject"), std::string::npos) << r.journal;
 }
 
 TEST(Service, EveryLineGetsAResponseInOrder) {

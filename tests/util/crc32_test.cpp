@@ -1,0 +1,56 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flattree::util {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE check value every CRC-32 implementation must reproduce, plus
+  // a couple of fixed vectors so a polynomial or reflection slip cannot
+  // sneak through.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(std::string(1, '\0')), 0xD202EF8Du);
+}
+
+TEST(Crc32, IncrementalChainEqualsOneShot) {
+  const std::string bytes = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t state = crc32_init();
+  for (char c : bytes) state = crc32_update(state, &c, 1);
+  EXPECT_EQ(crc32_final(state), crc32(bytes));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string bytes = "r 14 deadbeef 3 {\"op\":\"query\"}";
+  std::uint32_t reference = crc32(bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(crc32(flipped), reference) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32, HexIsFixedWidthLowercaseAndRoundTrips) {
+  EXPECT_EQ(crc32_hex(0xCBF43926u), "cbf43926");
+  EXPECT_EQ(crc32_hex(0x0000000Au), "0000000a");
+  std::uint32_t v = 0;
+  ASSERT_TRUE(parse_crc32_hex("cbf43926", v));
+  EXPECT_EQ(v, 0xCBF43926u);
+  ASSERT_TRUE(parse_crc32_hex("00000000", v));
+  EXPECT_EQ(v, 0u);
+  // Anything that is not exactly 8 lowercase hex digits is refused: the
+  // framed formats are canonical, so "CBF43926" and "cbf4392" are
+  // corruption, not alternate spellings.
+  EXPECT_FALSE(parse_crc32_hex("CBF43926", v));
+  EXPECT_FALSE(parse_crc32_hex("cbf4392", v));
+  EXPECT_FALSE(parse_crc32_hex("cbf439261", v));
+  EXPECT_FALSE(parse_crc32_hex("cbf4392g", v));
+  EXPECT_FALSE(parse_crc32_hex("", v));
+}
+
+}  // namespace
+}  // namespace flattree::util
